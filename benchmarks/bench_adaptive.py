@@ -1,0 +1,29 @@
+"""E10 — adaptive reconfiguration under a network regime change."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.adaptive_exp import AdaptiveScenario, run_adaptive
+
+
+@pytest.mark.benchmark(group="adaptive")
+def test_adaptive_regime_change(benchmark, emit):
+    table = benchmark.pedantic(
+        run_adaptive,
+        kwargs=dict(scenario=AdaptiveScenario()),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "adaptive")
+
+    regimes = table.column("regime")
+    fixed = table.column("fixed rate")
+    adaptive = table.column("adaptive rate")
+    etas = table.column("adaptive eta")
+    peak = regimes.index("peak")
+    # During the peak the fixed detector violates its mistake budget and
+    # the adaptive one is markedly better...
+    assert adaptive[peak] < fixed[peak] / 5.0
+    # ...bought by a higher heartbeat rate (smaller eta) during the peak.
+    assert etas[peak] < etas[0]

@@ -1,0 +1,28 @@
+"""E3/E4 — the Section 4/5/6 worked configuration examples.
+
+Asserts the paper's numbers: Section 4 → (η ≈ 9.97, δ ≈ 20.03),
+Section 5 → (η ≈ 9.71, δ ≈ 20.29).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config_examples import run_config_examples
+
+
+@pytest.mark.benchmark(group="config")
+def test_config_examples(benchmark, emit):
+    table = benchmark.pedantic(run_config_examples, rounds=3, iterations=1)
+    emit(table, "config_examples")
+
+    etas = table.column("eta")
+    shifts = table.column("shift")
+    assert etas[0] == pytest.approx(9.97, abs=0.05)
+    assert shifts[0] == pytest.approx(20.03, abs=0.05)
+    assert etas[1] == pytest.approx(9.71, abs=0.05)
+    assert shifts[1] == pytest.approx(20.29, abs=0.05)
+    # Both certified configurations satisfy the contract.
+    for row in table.rows[:2]:
+        assert row[5] >= 2_592_000 * (1 - 1e-9)
+        assert row[6] <= 60.0

@@ -1,0 +1,34 @@
+"""E8 — the SFD cutoff trade-off ablation (Section 7.2's argument)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cutoff_ablation import run_cutoff_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_cutoff_tradeoff(benchmark, emit):
+    table = benchmark.pedantic(
+        run_cutoff_ablation,
+        kwargs=dict(
+            tdu=2.5,
+            cutoffs=[0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.28],
+            target_mistakes=800,
+            max_heartbeats=15_000_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "cutoff_ablation")
+
+    tmr = table.column("E(T_MR)")
+    sfd_rows = tmr[:-1]
+    nfd_ref = tmr[-1]
+    best_sfd = max(sfd_rows)
+    # Interior maximum: both extremes of the trade-off hurt.
+    assert best_sfd > sfd_rows[0]
+    assert best_sfd > sfd_rows[-1]
+    # Even the best cutoff does not beat NFD-S (Theorem 6's shadow);
+    # allow statistical noise.
+    assert nfd_ref >= best_sfd * 0.85

@@ -1,0 +1,29 @@
+"""E7 — detection-time bounds on crash runs.
+
+NFD-S's ``T_D ≤ δ + η`` (tight), SFD+cutoff's ``T_D ≤ c + TO``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.detection_time import run_detection_time
+
+
+@pytest.mark.benchmark(group="detection")
+def test_detection_time_bounds(benchmark, emit):
+    table = benchmark.pedantic(
+        run_detection_time,
+        kwargs=dict(tdu=2.0, n_runs=300),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "detection_time")
+
+    bounds = table.column("bound")
+    maxes = table.column("max T_D")
+    held = table.column("bound held")
+    assert held[0] == "yes"  # NFD-S
+    assert held[2] == "yes"  # SFD with cutoff
+    # Tightness of the NFD-S bound: the worst crash phase approaches it.
+    assert maxes[0] > bounds[0] - 0.15

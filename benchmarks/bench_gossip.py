@@ -1,0 +1,27 @@
+"""E13 — gossip-style detector vs NFD-E at matched message budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.gossip_comparison import run_gossip_comparison
+
+
+@pytest.mark.benchmark(group="extension")
+def test_gossip_vs_nfd(benchmark, emit):
+    table = benchmark.pedantic(
+        run_gossip_comparison,
+        kwargs=dict(horizon=10_000.0, n_crash_runs=40),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "gossip_comparison")
+
+    budgets = table.column("msgs/s/process")
+    assert budgets[0] == pytest.approx(budgets[1], rel=0.05)
+    mean_td = table.column("mean T_D")
+    # Speeds were equalized by construction (within estimation noise).
+    assert mean_td[1] == pytest.approx(mean_td[0], rel=0.5)
+    # Both detect all crashes.
+    max_td = table.column("max T_D")
+    assert all(v is not None and v < 1e6 for v in max_td)

@@ -1,0 +1,36 @@
+"""E5 — NFD-E vs NFD-U across estimation windows (Section 6.3).
+
+Asserts the paper's claim that NFD-E is practically indistinguishable
+from NFD-U once the window reaches ≈ 30 heartbeats.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.nfde_window import run_nfde_window
+
+
+@pytest.mark.benchmark(group="nfde")
+def test_nfde_window_sweep(benchmark, emit):
+    table = benchmark.pedantic(
+        run_nfde_window,
+        kwargs=dict(
+            windows=[2, 4, 8, 16, 32, 64],
+            target_mistakes=1500,
+            max_heartbeats=10_000_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "nfde_window")
+
+    ratios = table.column("E(T_MR)/NFD-U")
+    windows = table.column("window n")
+    # By n = 32 the deviation from NFD-U is within ~10%.
+    idx32 = windows.index(32)
+    assert abs(ratios[idx32] - 1.0) < 0.10
+    # and n = 2 is visibly worse than n = 64.
+    assert abs(ratios[windows.index(2)] - 1.0) > abs(
+        ratios[windows.index(64)] - 1.0
+    )

@@ -1,0 +1,24 @@
+"""E6 — Theorem 6: NFD-S maximizes P_A at equal rate and detection bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.optimality import run_optimality
+
+
+@pytest.mark.benchmark(group="optimality")
+def test_optimality(benchmark, emit):
+    table = benchmark.pedantic(
+        run_optimality,
+        kwargs=dict(
+            tdu=2.0, target_mistakes=2000, max_heartbeats=10_000_000
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "optimality")
+
+    pa = table.column("P_A (sim)")
+    # Row 0 is NFD-S with delta = T_D^U − η: Theorem 6 says it wins.
+    assert pa[0] == max(pa)

@@ -1,0 +1,25 @@
+"""E12 — contract cost across network profiles (configuration study)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.profile_costs import run_profile_costs
+
+
+@pytest.mark.benchmark(group="config")
+def test_profile_costs(benchmark, emit):
+    table = benchmark.pedantic(run_profile_costs, rounds=3, iterations=1)
+    emit(table, "profile_costs")
+
+    by_name = {row[0]: row for row in table.rows}
+    # The LAN needs far less bandwidth than the congested link.
+    assert by_name["lan"][3] > by_name["congested"][3]
+    # Wherever both procedures succeed, Section 5 never asks for less
+    # bandwidth than Section 4 (it knows strictly less).
+    for row in table.rows:
+        known, unknown = row[3], row[4]
+        if not (math.isnan(known) or math.isnan(unknown)):
+            assert known >= unknown - 1e-9

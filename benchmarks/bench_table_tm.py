@@ -1,0 +1,39 @@
+"""E2 — the ``E(T_M)`` companion to Fig. 12.
+
+The paper omits the plot because "the E(T_M) of all the algorithms were
+similar and bounded above by approximately η = 1"; this bench generates
+the table and asserts exactly that claim.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.fig12 import fig12_tm_table, run_fig12
+
+TDU_GRID = [1.0, 1.75, 2.5]
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_mistake_duration_table(benchmark, emit):
+    points = benchmark.pedantic(
+        run_fig12,
+        kwargs=dict(
+            tdu_values=TDU_GRID,
+            target_mistakes=200,
+            max_heartbeats=20_000_000,
+            seed=2024,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = fig12_tm_table(points)
+    emit(table, "table_tm")
+
+    eta = 1.0
+    for p in points:
+        for r in (p.nfds, p.nfde, p.sfd_l, p.sfd_s):
+            if not math.isnan(r.e_tm):
+                assert r.e_tm <= eta + 1e-6

@@ -1,0 +1,80 @@
+"""Library-performance benchmarks (not a paper table).
+
+These keep the implementation honest about its own costs: vectorized
+simulation throughput, event-driven engine throughput, and the latency
+of the analytic/configuration paths that adaptive deployments re-run
+on-line (Section 8.1 re-executes the configurator periodically — it had
+better be cheap).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.configurator import configure_nfds
+from repro.analysis.nfds_theory import NFDSAnalysis
+from repro.core.nfd_s import NFDS
+from repro.metrics.qos import QoSRequirements
+from repro.net.delays import ExponentialDelay
+from repro.sim.fastsim import simulate_nfds_fast
+from repro.sim.runner import SimulationConfig, run_failure_free
+
+DELAY = ExponentialDelay(0.02)
+REQ = QoSRequirements(30.0, 2_592_000.0, 60.0)
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_fastsim_throughput(benchmark):
+    """Heartbeats/second of the vectorized NFD-S simulator."""
+    n = 2_000_000
+
+    result = benchmark.pedantic(
+        simulate_nfds_fast,
+        kwargs=dict(
+            eta=1.0,
+            delta=1.0,
+            loss_probability=0.01,
+            delay=DELAY,
+            seed=1,
+            target_mistakes=10**9,
+            max_heartbeats=n,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.n_heartbeats >= n
+    benchmark.extra_info["heartbeats"] = result.n_heartbeats
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_event_driven_throughput(benchmark):
+    """Events/second of the DES running a full NFD-S pipeline."""
+    config = SimulationConfig(
+        eta=1.0,
+        delay=DELAY,
+        loss_probability=0.01,
+        horizon=20_000.0,
+        seed=2,
+    )
+    result = benchmark.pedantic(
+        run_failure_free,
+        args=(lambda: NFDS(eta=1.0, delta=1.0), config),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.heartbeats_sent >= 19_999
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_theorem5_evaluation_latency(benchmark):
+    """Full analytic QoS prediction (with quadrature)."""
+    analysis = NFDSAnalysis(1.0, 2.5, 0.01, DELAY)
+    pred = benchmark(analysis.predict)
+    assert pred.e_tmr > 0
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_configurator_latency(benchmark):
+    """The Section 4 procedure — re-run on-line by adaptive deployments."""
+    cfg = benchmark(configure_nfds, REQ, 0.01, DELAY)
+    assert cfg.eta > 0

@@ -1,0 +1,33 @@
+"""Shared plumbing for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures (see the
+per-experiment index in DESIGN.md), times the regeneration via
+pytest-benchmark, prints the resulting table, and saves it under
+``benchmarks/results/``.
+
+Scale: benchmarks default to a reduced-but-shape-preserving scale so the
+whole harness runs in minutes.  The paper-scale versions are available
+via ``python -m repro.experiments <name> --full``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit():
+    """emit(table, name): print a result table and save it to disk."""
+
+    def _emit(table, name: str) -> None:
+        text = table.to_text()
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

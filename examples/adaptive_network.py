@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Adaptive failure detection across a day/night network regime change.
+
+Section 8.1 of the paper: a corporate network behaves differently during
+peak hours than at night, so the failure detector must periodically
+re-estimate the network and re-configure itself (the Fig. 11 pipeline).
+
+This example runs the packaged E10 experiment — a fixed NFD-E against an
+adaptive one through calm → peak → calm — and prints the per-phase
+mistake rates and heartbeat rates.
+
+Run:  python examples/adaptive_network.py
+"""
+
+from repro.experiments.adaptive_exp import AdaptiveScenario, run_adaptive
+
+
+def main() -> None:
+    scenario = AdaptiveScenario(
+        relative_detection_bound=3.0,
+        mistake_recurrence_lower=50_000.0,
+        mistake_duration_upper=2.0,
+        calm_mean_delay=0.02,
+        calm_loss=0.01,
+        peak_mean_delay=0.5,
+        peak_loss=0.10,
+        t1=20_000.0,
+        t2=40_000.0,
+        horizon=60_000.0,
+    )
+    print(
+        "Scenario: calm [0, 20k), peak [20k, 40k) "
+        "(25x delays, 10x loss), calm [40k, 60k)"
+    )
+    print(
+        f"Contract: T_D <= {scenario.relative_detection_bound} + E(D), "
+        f"E(T_MR) >= {scenario.mistake_recurrence_lower:.0f}, "
+        f"E(T_M) <= {scenario.mistake_duration_upper}"
+    )
+    print()
+    table = run_adaptive(scenario)
+    print(table.to_text())
+    print()
+    print(
+        "Reading: during the peak the fixed detector's mistake rate "
+        "blows through the contract; the adaptive one re-estimates "
+        "p_L/V(D) every 500 s, re-runs the Section 6 configurator, and "
+        "buys the contract back with a higher heartbeat rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Configuring from a measured delay trace — Section 4 on real data.
+
+Most deployments have something better than "delays are exponential":
+they have *measurements*.  This example takes a (synthetic stand-in
+for a) measured one-way-delay trace, wraps it as an empirical
+distribution, and compares three configuration routes for the same
+contract:
+
+1. Section 4 on the **empirical distribution** (all information used);
+2. Section 4 on a fitted **exponential** with the same mean (the
+   common modelling shortcut — optimistic if the tail is heavier);
+3. Section 5 on the trace's **mean and variance only**
+   (distribution-free — always safe, costs bandwidth).
+
+Run:  python examples/delay_trace_config.py
+"""
+
+import numpy as np
+
+from repro import (
+    ExponentialDelay,
+    NFDSAnalysis,
+    QoSRequirements,
+    configure_nfds,
+    configure_nfds_unknown,
+)
+from repro.net.delays import EmpiricalDelay
+
+
+def synthesize_measured_trace(n: int = 20_000, seed: int = 3) -> np.ndarray:
+    """A WAN-ish trace: fast mode + occasional congestion episodes."""
+    rng = np.random.default_rng(seed)
+    base = 0.030 + rng.exponential(0.010, n)  # 30 ms floor + jitter
+    congested = rng.random(n) < 0.03
+    base[congested] += rng.exponential(0.25, int(congested.sum()))
+    return base
+
+
+def main() -> None:
+    samples = synthesize_measured_trace()
+    trace_dist = EmpiricalDelay(samples)
+    print(f"Measured trace: n={trace_dist.n_samples}, "
+          f"mean={trace_dist.mean * 1000:.1f} ms, "
+          f"std={trace_dist.std * 1000:.1f} ms, "
+          f"p99={np.quantile(samples, 0.99) * 1000:.0f} ms")
+
+    contract = QoSRequirements(
+        detection_time_upper=5.0,
+        mistake_recurrence_lower=24 * 3600.0,  # one mistake a day
+        mistake_duration_upper=10.0,
+    )
+    p_loss = 0.005
+
+    # Route 1: the full empirical distribution.
+    cfg_emp = configure_nfds(contract, p_loss, trace_dist)
+    # Route 2: an exponential fitted to the mean (tail-blind).
+    exp_fit = ExponentialDelay(trace_dist.mean)
+    cfg_exp = configure_nfds(contract, p_loss, exp_fit)
+    # Route 3: distribution-free on the trace's moments.
+    cfg_mom = configure_nfds_unknown(
+        contract, p_loss, trace_dist.mean, trace_dist.variance
+    )
+
+    print("\nConfigurations for the same contract:")
+    print(f"  empirical trace      : eta={cfg_emp.eta:.3f}, delta={cfg_emp.delta:.3f}")
+    print(f"  fitted exponential   : eta={cfg_exp.eta:.3f}, delta={cfg_exp.delta:.3f}")
+    print(f"  moments only (Sec 5) : eta={cfg_mom.eta:.3f}, delta={cfg_mom.delta:.3f}")
+
+    # The punchline: evaluate ALL THREE configurations against the
+    # *actual* (empirical) delay law.
+    print("\nActual QoS of each configuration on the measured network:")
+    header = f"  {'route':22s} {'E(T_MR) (s)':>14s} {'meets T_MR^L?':>14s}"
+    print(header)
+    for label, cfg in (
+        ("empirical trace", cfg_emp),
+        ("fitted exponential", cfg_exp),
+        ("moments only (Sec 5)", cfg_mom),
+    ):
+        pred = NFDSAnalysis(cfg.eta, cfg.delta, p_loss, trace_dist).predict()
+        ok = "yes" if pred.e_tmr >= contract.mistake_recurrence_lower else "NO"
+        print(f"  {label:22s} {pred.e_tmr:14,.0f} {ok:>14s}")
+
+    print(
+        "\nReading: configuring against a tail-blind exponential fit can "
+        "violate the contract on the real network (the congestion tail "
+        "causes premature timeouts the fit never saw); the empirical "
+        "route is exact, and the moments-only route is safe but pays "
+        "for its ignorance with a higher heartbeat rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

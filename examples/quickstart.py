@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Quickstart: from a QoS contract to a running, verified failure detector.
+
+The flow every user of this library follows (Sections 2-4 of the paper):
+
+1. Write the QoS contract — how fast must crashes be detected, how rare
+   and how short may false suspicions be.
+2. Feed the contract and the network behaviour to the configurator: it
+   returns the heartbeat period η and the freshness shift δ (or proves
+   that *no* failure detector can meet the contract).
+3. Run NFD-S with those parameters.
+4. Verify: analytically (Theorem 5) and by simulation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    NFDS,
+    ExponentialDelay,
+    NFDSAnalysis,
+    QoSRequirements,
+    SimulationConfig,
+    configure_nfds,
+    run_crash_runs,
+    run_failure_free,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The contract (the paper's running example):
+    #    - detect crashes within 30 s,
+    #    - at most ~one false suspicion per month,
+    #    - false suspicions corrected within 60 s on average.
+    # ------------------------------------------------------------------
+    contract = QoSRequirements(
+        detection_time_upper=30.0,
+        mistake_recurrence_lower=30 * 24 * 3600.0,
+        mistake_duration_upper=60.0,
+    )
+    print("QoS contract:")
+    print(f"  T_D^U   = {contract.detection_time_upper} s")
+    print(f"  T_MR^L  = {contract.mistake_recurrence_lower:.0f} s (30 days)")
+    print(f"  T_M^U   = {contract.mistake_duration_upper} s")
+
+    # ------------------------------------------------------------------
+    # 2. The network: 1% message loss, exponential delays, mean 20 ms.
+    # ------------------------------------------------------------------
+    loss = 0.01
+    delay = ExponentialDelay(0.02)
+    config = configure_nfds(contract, loss, delay)
+    print("\nConfigurator output (Section 4 procedure):")
+    print(f"  heartbeat period     eta   = {config.eta:.4f} s")
+    print(f"  freshness shift      delta = {config.delta:.4f} s")
+    print(f"  (paper's worked example: eta = 9.97, delta = 20.03)")
+
+    # ------------------------------------------------------------------
+    # 3. Analytic verification via Theorem 5.
+    # ------------------------------------------------------------------
+    prediction = NFDSAnalysis(config.eta, config.delta, loss, delay).predict()
+    print("\nAnalytic QoS of this configuration (Theorem 5):")
+    print(f"  detection bound      = {prediction.detection_time_bound:.2f} s")
+    print(f"  E(T_MR)              = {prediction.e_tmr:,.0f} s")
+    print(f"  E(T_M)               = {prediction.e_tm:.2f} s")
+    print(f"  query accuracy P_A   = {prediction.query_accuracy:.9f}")
+
+    # ------------------------------------------------------------------
+    # 4. Simulation check: accuracy on a failure-free run, detection on
+    #    crash runs.  (Short horizon — this is a demo, not the bench.)
+    # ------------------------------------------------------------------
+    sim_config = SimulationConfig(
+        eta=config.eta,
+        delay=delay,
+        loss_probability=loss,
+        horizon=50_000.0,
+        warmup=config.eta + config.delta,
+        seed=7,
+    )
+    accuracy_run = run_failure_free(
+        lambda: NFDS(eta=config.eta, delta=config.delta), sim_config
+    )
+    print("\nSimulated failure-free run (50,000 s):")
+    print(f"  mistakes observed    = {accuracy_run.accuracy.n_mistakes}")
+    print(f"  query accuracy       = {accuracy_run.accuracy.query_accuracy:.9f}")
+
+    crashes = run_crash_runs(
+        lambda: NFDS(eta=config.eta, delta=config.delta),
+        sim_config,
+        n_runs=50,
+        settle_time=100.0,
+    )
+    print(f"\nSimulated crash runs (50):")
+    print(f"  max detection time   = {crashes.max_detection_time:.2f} s")
+    print(f"  bound (delta + eta)  = {config.delta + config.eta:.2f} s")
+    assert crashes.max_detection_time <= config.delta + config.eta + 1e-9
+    print("\nContract met. Done.")
+
+
+if __name__ == "__main__":
+    main()

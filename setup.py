@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+legacy ``pip install -e . --no-use-pep517`` installs on machines where
+PEP 517 editable builds are unavailable (no ``wheel``, no network).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""Analytic QoS results and configuration procedures.
+
+* :mod:`repro.analysis.nfds_theory` — Proposition 3 and Theorem 5: the
+  exact QoS of NFD-S given ``(η, δ, p_L, D)``; also covers NFD-U via the
+  substitution ``δ = E(D) + α``.
+* :mod:`repro.analysis.chebyshev` — the one-sided (Cantelli) inequality
+  and the distribution-free bounds of Theorems 9 and 11.
+* :mod:`repro.analysis.configurator` — the Section 4 procedure (known
+  probabilistic behaviour).
+* :mod:`repro.analysis.configurator_unknown` — the Section 5 procedure
+  (only ``p_L, E(D), V(D)`` known).
+* :mod:`repro.analysis.configurator_nfdu` — the Section 6 procedure for
+  NFD-U/NFD-E (unsynchronized clocks; only ``p_L, V(D)`` known).
+* :mod:`repro.analysis.feasibility` — Proposition 8's bound on the
+  largest ``η`` any NFD-S configuration could use.
+"""
+
+from repro.analysis.chebyshev import (
+    nfdu_accuracy_bounds,
+    nfds_accuracy_bounds,
+    one_sided_tail_bound,
+)
+from repro.analysis.configurator import NFDSConfig, configure_nfds
+from repro.analysis.configurator_nfdu import NFDUConfig, configure_nfdu
+from repro.analysis.configurator_unknown import configure_nfds_unknown
+from repro.analysis.feasibility import eta_upper_bound
+from repro.analysis.nfde_theory import nfde_approximation
+from repro.analysis.nfds_theory import NFDSAnalysis, QoSPrediction, nfdu_analysis
+from repro.analysis.sfd_theory import SFDAnalysis, SFDPrediction
+
+__all__ = [
+    "NFDSAnalysis",
+    "QoSPrediction",
+    "nfdu_analysis",
+    "one_sided_tail_bound",
+    "nfds_accuracy_bounds",
+    "nfdu_accuracy_bounds",
+    "SFDAnalysis",
+    "SFDPrediction",
+    "nfde_approximation",
+    "NFDSConfig",
+    "configure_nfds",
+    "configure_nfds_unknown",
+    "NFDUConfig",
+    "configure_nfdu",
+    "eta_upper_bound",
+]

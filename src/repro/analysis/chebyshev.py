@@ -1,0 +1,152 @@
+"""Distribution-free bounds (Section 5 / 6 of the paper).
+
+When the delay distribution is unknown but ``E(D)`` and ``V(D)`` are,
+the One-Sided Inequality (Cantelli's inequality, paper eq. 5.1)
+
+    ``P(D > t) ≤ V(D) / (V(D) + (t − E(D))²)``   for ``t > E(D)``
+
+bounds each ``p_j``/``q_0`` term of the NFD-S analysis, which yields
+(Theorem 9, and Theorem 11 for NFD-U):
+
+    ``E(T_MR) ≥ η / β``   and   ``E(T_M) ≤ η / γ``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "one_sided_tail_bound",
+    "AccuracyBounds",
+    "nfds_accuracy_bounds",
+    "nfdu_accuracy_bounds",
+]
+
+
+def one_sided_tail_bound(t: float, mean: float, variance: float) -> float:
+    """Cantelli bound on ``P(D > t)``; trivially 1 for ``t ≤ mean``.
+
+    Valid for *any* distribution with the given mean and (finite)
+    variance — this is what lets the Section 5/6 configurators work
+    without knowing the delay law.
+    """
+    if variance < 0:
+        raise InvalidParameterError(f"variance must be >= 0, got {variance}")
+    if t <= mean:
+        return 1.0
+    gap = t - mean
+    return variance / (variance + gap * gap)
+
+
+@dataclass(frozen=True)
+class AccuracyBounds:
+    """Theorem 9 / 11 bounds on the primary accuracy metrics."""
+
+    e_tmr_lower: float  # η / β
+    e_tm_upper: float  # η / γ
+    beta: float
+    gamma: float
+
+
+def nfds_accuracy_bounds(
+    eta: float,
+    delta: float,
+    loss_probability: float,
+    mean_delay: float,
+    var_delay: float,
+) -> AccuracyBounds:
+    """Theorem 9: bounds for NFD-S when only ``p_L, E(D), V(D)`` are known.
+
+    Requires ``δ > E(D)`` (otherwise NFD-S would false-suspect on every
+    above-average delay — the paper argues such configurations are not
+    useful detectors).
+
+    ``β = Π_{j=0}^{k₀} [V + p_L·(δ−E(D)−jη)²] / [V + (δ−E(D)−jη)²]``
+    with ``k₀ = ⌈(δ−E(D))/η⌉ − 1``, and
+    ``γ = (1−p_L)·(δ−E(D)+η)² / [V + (δ−E(D)+η)²]``.
+    """
+    if eta <= 0:
+        raise InvalidParameterError(f"eta must be positive, got {eta}")
+    if not 0.0 <= loss_probability < 1.0:
+        raise InvalidParameterError(
+            f"loss_probability must be in [0,1), got {loss_probability}"
+        )
+    if var_delay < 0:
+        raise InvalidParameterError(f"variance must be >= 0, got {var_delay}")
+    if delta <= mean_delay:
+        raise InvalidParameterError(
+            f"Theorem 9 needs delta > E(D); got delta={delta}, E(D)={mean_delay}"
+        )
+    return _bounds_from_effective_shift(
+        eta=eta,
+        shift=delta - mean_delay,
+        p_l=loss_probability,
+        variance=var_delay,
+    )
+
+
+def nfdu_accuracy_bounds(
+    eta: float,
+    alpha: float,
+    loss_probability: float,
+    var_delay: float,
+) -> AccuracyBounds:
+    """Theorem 11: bounds for NFD-U — note ``E(D)`` is *not* needed.
+
+    Requires ``α > 0``; identical to Theorem 9 with the effective shift
+    ``δ − E(D)`` replaced by ``α``.
+    """
+    if alpha <= 0:
+        raise InvalidParameterError(f"Theorem 11 needs alpha > 0, got {alpha}")
+    if eta <= 0:
+        raise InvalidParameterError(f"eta must be positive, got {eta}")
+    if not 0.0 <= loss_probability < 1.0:
+        raise InvalidParameterError(
+            f"loss_probability must be in [0,1), got {loss_probability}"
+        )
+    if var_delay < 0:
+        raise InvalidParameterError(f"variance must be >= 0, got {var_delay}")
+    return _bounds_from_effective_shift(
+        eta=eta, shift=alpha, p_l=loss_probability, variance=var_delay
+    )
+
+
+def _bounds_from_effective_shift(
+    eta: float, shift: float, p_l: float, variance: float
+) -> AccuracyBounds:
+    k0 = int(math.ceil(shift / eta - 1e-12)) - 1
+    log_beta = 0.0
+    for j in range(k0 + 1):
+        gap = shift - j * eta
+        num = variance + p_l * gap * gap
+        den = variance + gap * gap
+        if num == 0.0:
+            # variance 0, p_L 0, gap > 0: deterministic delays, no loss —
+            # a mistake can never recur; β = 0 means E(T_MR) = ∞.
+            return AccuracyBounds(
+                e_tmr_lower=math.inf,
+                e_tm_upper=_gamma_bound(eta, shift, p_l, variance)[0],
+                beta=0.0,
+                gamma=_gamma_bound(eta, shift, p_l, variance)[1],
+            )
+        log_beta += math.log(num) - math.log(den)
+    beta = math.exp(log_beta)
+    e_tm_upper, gamma = _gamma_bound(eta, shift, p_l, variance)
+    return AccuracyBounds(
+        e_tmr_lower=eta / beta if beta > 0 else math.inf,
+        e_tm_upper=e_tm_upper,
+        beta=beta,
+        gamma=gamma,
+    )
+
+
+def _gamma_bound(
+    eta: float, shift: float, p_l: float, variance: float
+) -> tuple:
+    reach = shift + eta
+    gamma = (1.0 - p_l) * reach * reach / (variance + reach * reach)
+    e_tm_upper = eta / gamma if gamma > 0 else math.inf
+    return e_tm_upper, gamma

@@ -1,0 +1,42 @@
+"""Proposition 8: how far from optimal can the Section 4 procedure be?
+
+The Section 4 procedure outputs *a* feasible ``η``, not necessarily the
+largest one.  Proposition 8 gives a distribution-free ceiling: to satisfy
+the QoS requirements with NFD-S at all, η must satisfy
+
+    ``η ≤ η_max / (p_L + (1−p_L)·P(D > T_D^U))``
+
+with ``η_max = q'_0 · T_M^U`` from Step 1.  Comparing the procedure's
+output against this ceiling bounds the bandwidth sub-optimality.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+from repro.metrics.qos import QoSRequirements
+from repro.net.delays import DelayDistribution
+
+__all__ = ["eta_upper_bound"]
+
+
+def eta_upper_bound(
+    requirements: QoSRequirements,
+    loss_probability: float,
+    delay: DelayDistribution,
+) -> float:
+    """Proposition 8's upper bound on any feasible NFD-S ``η``."""
+    if not 0.0 <= loss_probability < 1.0:
+        raise InvalidParameterError(
+            f"loss_probability must be in [0,1), got {loss_probability}"
+        )
+    t_d_u = requirements.detection_time_upper
+    q0_prime = (1.0 - loss_probability) * float(delay.prob_less(t_d_u))
+    eta_max = q0_prime * requirements.mistake_duration_upper
+    tail = loss_probability + (1.0 - loss_probability) * float(
+        delay.sf(t_d_u)
+    )
+    if tail == 0.0:
+        # No loss and delays never exceed T_D^U: Proposition 8 puts no
+        # finite ceiling on eta.
+        return float("inf")
+    return eta_max / tail

@@ -1,0 +1,244 @@
+"""Analytic QoS of the common algorithm (SFD) with a cutoff — extension.
+
+The paper analyzes NFD exactly (Theorem 5) but only *simulates* the
+common algorithm.  Its structure admits the same treatment, which this
+module provides (labelled an extension: these formulas are ours, not
+the paper's; they are validated against the simulators in the tests).
+
+Model.  Heartbeats are sent every η; each is *accepted* independently
+with probability ``a = (1 − p_L)·P(D ≤ c)`` (it must survive the link
+and beat the cutoff), and an accepted message's delay follows the
+truncated law ``G = law(D | D ≤ c)``.  With ``c < η``, accepted
+arrivals keep their send order, so the inter-receipt gaps are
+
+    ``gap_K = K·η + (d' − d)``,  ``K ~ Geometric(a)``, ``d, d' ~ G`` iid,
+
+where ``K − 1`` is the number of rejected heartbeats between two
+accepted ones.  The timeout TO is restarted at each accepted receipt,
+so an S-transition occurs in a gap iff ``gap > TO``, with mistake
+duration ``gap − TO``.  Hence, per accepted receipt:
+
+    ``P(mistake) = Σ_K a(1−a)^{K−1} · P(W > TO − K·η)``,  ``W = d' − d``,
+
+and with accepted receipts arriving at rate ``a/η``:
+
+    ``E(T_MR) = η / (a · P(mistake-per-gap))``
+    ``E(T_M)  = E[(gap − TO)⁺] / P(gap > TO)``
+    ``P_A     = 1 − E(T_M)/E(T_MR)``          (Theorem 1.2).
+
+``W``'s law is computed by numerical convolution on a grid of the
+truncated delay CDF, so any :class:`DelayDistribution` works.
+
+This also exposes *why* the cutoff trade-off is inherently bad (the
+paper's Section 7.2 argument, now quantitative): raising c grows the
+acceptance probability a (fewer long gaps) but shifts probability mass
+of W toward ``+c`` (premature timeouts when a fast heartbeat precedes a
+slow one — the Section 1.2.1 dependency on the *previous* heartbeat,
+visible in the formula through ``d`` entering with a minus sign).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.net.delays import DelayDistribution
+
+__all__ = ["SFDPrediction", "SFDAnalysis"]
+
+
+@dataclass(frozen=True)
+class SFDPrediction:
+    """Analytic QoS of one cutoff-SFD configuration."""
+
+    detection_time_bound: float
+    e_tmr: float
+    e_tm: float
+    query_accuracy: float
+    mistake_rate: float
+    acceptance_probability: float
+
+
+class SFDAnalysis:
+    """Renewal analysis of SFD(TO, cutoff) on a lossy link.
+
+    Args:
+        eta: heartbeat inter-sending time.
+        timeout: the fixed timeout TO.
+        loss_probability: ``p_L``.
+        delay: the delay distribution D.
+        cutoff: the discard threshold c; None analyses the plain common
+            algorithm by truncating D at a negligible tail quantile
+            (``P(D > c_eff) < 1e-12``).
+        grid: resolution of the numerical convolution for W = d' − d.
+
+    Requires ``c < η`` (no receipt reordering among accepted messages) —
+    satisfied by the paper's cutoffs (0.08, 0.16 at η = 1) and by any
+    sane deployment.
+    """
+
+    def __init__(
+        self,
+        eta: float,
+        timeout: float,
+        loss_probability: float,
+        delay: DelayDistribution,
+        cutoff: Optional[float] = None,
+        grid: int = 1024,
+    ) -> None:
+        if eta <= 0 or timeout <= 0:
+            raise InvalidParameterError("eta and timeout must be positive")
+        if not 0.0 <= loss_probability < 1.0:
+            raise InvalidParameterError(
+                f"loss_probability must be in [0,1), got {loss_probability}"
+            )
+        if grid < 16:
+            raise InvalidParameterError(f"grid must be >= 16, got {grid}")
+        self.eta = float(eta)
+        self.timeout = float(timeout)
+        self.p_l = float(loss_probability)
+        self.delay = delay
+        self._explicit_cutoff = cutoff
+        self.cutoff = self._effective_cutoff(cutoff)
+        if self.cutoff >= eta:
+            raise InvalidParameterError(
+                f"analysis requires cutoff < eta (no reordering); got "
+                f"cutoff={self.cutoff}, eta={eta}"
+            )
+        self._grid = int(grid)
+        self._mass, self._mid = self._truncated_grid()
+
+    def _effective_cutoff(self, cutoff: Optional[float]) -> float:
+        if cutoff is not None:
+            if cutoff <= 0:
+                raise InvalidParameterError("cutoff must be positive")
+            return float(cutoff)
+        # Plain SFD: truncate at a negligible tail.
+        c = max(self.delay.mean, 1e-9)
+        for _ in range(200):
+            if float(self.delay.sf(c)) < 1e-12:
+                return c
+            c *= 1.5
+        raise InvalidParameterError(
+            "delay tail too heavy to truncate for the plain-SFD analysis; "
+            "pass an explicit cutoff"
+        )
+
+    def _truncated_grid(self):
+        """Probability masses of the truncated delay law on grid cells."""
+        edges = np.linspace(0.0, self.cutoff, self._grid + 1)
+        cdf = np.asarray(self.delay.cdf(edges))
+        mass = np.diff(cdf)
+        total = cdf[-1] - cdf[0]
+        if total <= 0:
+            raise InvalidParameterError(
+                "P(D <= cutoff) = 0: no heartbeat is ever accepted"
+            )
+        mass = mass / total
+        mid = 0.5 * (edges[:-1] + edges[1:])
+        return mass, mid
+
+    # ------------------------------------------------------------------ #
+    # Core quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def acceptance_probability(self) -> float:
+        """``a = (1 − p_L)·P(D ≤ c)``."""
+        return (1.0 - self.p_l) * float(self.delay.cdf(self.cutoff))
+
+    @property
+    def detection_time_bound(self) -> float:
+        """``T_D ≤ c + TO`` (Section 7.2)."""
+        bound_cutoff = (
+            self._explicit_cutoff
+            if self._explicit_cutoff is not None
+            else math.inf
+        )
+        return bound_cutoff + self.timeout
+
+    def _w_tail_and_excess(self, x: float):
+        """``P(W > x)`` and ``E[(W − x)⁺]`` for ``W = d' − d``."""
+        # W > x  <=>  d' > x + d ; vectorized over the (d, d') grid.
+        d = self._mid[:, None]
+        dp = self._mid[None, :]
+        w = dp - d
+        joint = self._mass[:, None] * self._mass[None, :]
+        tail = float(joint[w > x].sum())
+        excess = float((joint * np.clip(w - x, 0.0, None)).sum())
+        return tail, excess
+
+    def _per_gap_statistics(self):
+        """Σ over K of the geometric-weighted premature-gap quantities."""
+        a = self.acceptance_probability
+        if a <= 0.0:
+            return 0.0, 0.0
+        p_mistake = 0.0  # P(gap > TO) per gap
+        e_excess = 0.0  # E[(gap − TO)^+] per gap
+        k = 1
+        weight = a
+        while True:
+            x = self.timeout - k * self.eta
+            if x <= -self.cutoff:
+                # gap > TO with certainty for this and all larger K; the
+                # remaining geometric tail contributes in closed form.
+                # P: Σ_{j>=k} a(1−a)^{j−1} = (1−a)^{k−1}
+                rem_p = (1.0 - a) ** (k - 1)
+                p_mistake += rem_p
+                # E[(jη + W − TO)] summed with geometric weights:
+                # Σ_{j>=k} a(1−a)^{j−1}(jη − TO + E W); E W = 0.
+                # Σ j a(1−a)^{j−1} over j>=k = (1−a)^{k−1}(k + (1−a)/a)
+                e_excess += self.eta * (1.0 - a) ** (k - 1) * (
+                    k + (1.0 - a) / a
+                ) - self.timeout * rem_p
+                break
+            tail, excess = self._w_tail_and_excess(x)
+            p_mistake += weight * tail
+            e_excess += weight * excess
+            weight *= 1.0 - a
+            k += 1
+            if weight < 1e-18 and self.timeout - k * self.eta < -self.cutoff:
+                break
+            if k > 10_000:  # pragma: no cover - defensive
+                break
+        return p_mistake, e_excess
+
+    # ------------------------------------------------------------------ #
+    # QoS metrics
+    # ------------------------------------------------------------------ #
+
+    def e_tmr(self) -> float:
+        """``E(T_MR) = η / (a · P(gap > TO))``."""
+        a = self.acceptance_probability
+        p_mistake, _ = self._per_gap_statistics()
+        if a <= 0.0 or p_mistake <= 0.0:
+            return math.inf
+        return self.eta / (a * p_mistake)
+
+    def e_tm(self) -> float:
+        """``E(T_M) = E[(gap − TO)⁺] / P(gap > TO)``."""
+        p_mistake, e_excess = self._per_gap_statistics()
+        if p_mistake <= 0.0:
+            return 0.0
+        return e_excess / p_mistake
+
+    def query_accuracy(self) -> float:
+        e_tmr = self.e_tmr()
+        if math.isinf(e_tmr):
+            return 1.0
+        return 1.0 - self.e_tm() / e_tmr
+
+    def predict(self) -> SFDPrediction:
+        e_tmr = self.e_tmr()
+        return SFDPrediction(
+            detection_time_bound=self.detection_time_bound,
+            e_tmr=e_tmr,
+            e_tm=self.e_tm(),
+            query_accuracy=self.query_accuracy(),
+            mistake_rate=0.0 if math.isinf(e_tmr) else 1.0 / e_tmr,
+            acceptance_probability=self.acceptance_probability,
+        )

@@ -1,0 +1,134 @@
+"""NFD-U — NFD for unsynchronized, drift-free clocks (Fig. 9).
+
+Without synchronized clocks, q cannot derive freshness points from p's
+*sending* times.  Instead, NFD-U shifts the *expected arrival times*
+``EA_i = σ_i + E(D)`` (expressed in q's local clock) by a slack ``α``:
+``τ_i = EA_i + α``.  Since ``EA`` differs from ``σ`` only by the constant
+``E(D)``, the QoS analysis of NFD-S transfers by substituting
+``δ = E(D) + α`` (Section 6.2).
+
+This class takes the ``EA_i`` values via a callable so that:
+
+* tests can supply the exact ``EA_i`` (the paper's NFD-U proper);
+* :class:`repro.core.nfd_e.NFDE` can plug in the windowed *estimate* of
+  eq. (6.3), giving the practical algorithm.
+
+State machine (Fig. 9): ``ℓ`` is the largest sequence number received.
+When q's clock reaches ``τ_{ℓ+1}``, no received message is still fresh —
+suspect.  On receiving ``m_j`` with ``j > ℓ``: advance ``ℓ``, recompute
+``τ_{ℓ+1} = EA_{ℓ+1} + α``, and trust iff the receipt time precedes the
+new freshness point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.base import Heartbeat, HeartbeatFailureDetector, TimerHandle
+from repro.errors import InvalidParameterError
+from repro.metrics.transitions import SUSPECT, TRUST
+
+__all__ = ["NFDU"]
+
+
+class NFDU(HeartbeatFailureDetector):
+    """The NFD-U algorithm with parameters ``eta`` (η) and ``alpha`` (α).
+
+    Args:
+        eta: heartbeat inter-sending time η (> 0).
+        alpha: freshness slack α added to expected arrival times.
+        expected_arrival: callable mapping a sequence number ``i`` to
+            ``EA_i`` in q's local clock.  For the textbook NFD-U with a
+            known constant expected delay, use
+            ``lambda i: i * eta + expected_delay_offset``.
+        first_seq: sequence number of the first heartbeat (1 in the paper).
+
+    Note ``alpha`` may be negative as long as ``E(D) + α > 0`` — the
+    analysis only needs the *effective* shift ``δ = E(D) + α`` to be
+    positive; Theorem 11 additionally assumes ``α > 0`` for its bounds.
+    """
+
+    name = "nfd-u"
+
+    def __init__(
+        self,
+        eta: float,
+        alpha: float,
+        expected_arrival: Callable[[int], float],
+        first_seq: int = 1,
+    ) -> None:
+        super().__init__()
+        if eta <= 0:
+            raise InvalidParameterError(f"eta must be positive, got {eta}")
+        self._eta = float(eta)
+        self._alpha = float(alpha)
+        self._expected_arrival = expected_arrival
+        self._first_seq = int(first_seq)
+        if first_seq < 1:
+            raise InvalidParameterError(f"first_seq must be >= 1, got {first_seq}")
+        # ℓ: largest sequence number received so far; ℓ = first_seq - 1
+        # plays the role of the paper's initial ℓ = 0 (no message yet).
+        self._ell = first_seq - 1
+        self._tau_next: float = 0.0  # τ_{ℓ+1}; paper initializes τ_0 = 0
+        self._timer: Optional[TimerHandle] = None
+
+    @property
+    def eta(self) -> float:
+        return self._eta
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    @property
+    def max_seq(self) -> int:
+        """ℓ — the largest sequence number received so far."""
+        return self._ell
+
+    @property
+    def next_freshness_point(self) -> float:
+        """``τ_{ℓ+1}`` in q's local clock."""
+        return self._tau_next
+
+    # ------------------------------------------------------------------ #
+    # Algorithm (Fig. 9)
+    # ------------------------------------------------------------------ #
+
+    def _on_start(self) -> None:
+        # Initialization: τ_0 = 0 (relative to q starting its clock at 0),
+        # output S.  If q's clock is already past τ_0 the suspicion is
+        # immediate, which _set_output(SUSPECT) captures.
+        self._set_output(SUSPECT)
+        self._tau_next = 0.0
+        now = self.runtime.local_now()
+        if self._tau_next > now:
+            self._timer = self.runtime.call_at(self._tau_next, self._expired)
+
+    def _expired(self) -> None:
+        # Lines 5-6: the clock reached τ_{ℓ+1}; nothing received is fresh.
+        self._set_output(SUSPECT)
+
+    def on_heartbeat(self, heartbeat: Heartbeat) -> None:
+        # Lines 8-11.
+        if heartbeat.seq <= self._ell:
+            return  # old or duplicate message: no effect
+        self._ell = heartbeat.seq
+        self._note_arrival(heartbeat)
+        tau = self._expected_arrival(self._ell + 1) + self._alpha
+        self._tau_next = tau
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        now = self.runtime.local_now()
+        if now < tau:
+            self._set_output(TRUST)
+            self._timer = self.runtime.call_at(tau, self._expired)
+        else:
+            # m_ℓ is already stale on arrival: remain (or become) suspect.
+            self._set_output(SUSPECT)
+
+    def _note_arrival(self, heartbeat: Heartbeat) -> None:
+        """Hook for subclasses (NFD-E feeds its EA estimator here)."""
+
+    def describe(self) -> str:
+        return f"NFD-U(eta={self._eta:g}, alpha={self._alpha:g})"

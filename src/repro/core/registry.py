@@ -1,0 +1,58 @@
+"""Detector registry: build detectors by name from keyword parameters.
+
+Used by the experiment CLI and the service layer so that configuration
+files / command lines can say ``nfd-s`` instead of importing classes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.base import HeartbeatFailureDetector
+from repro.core.jacobson import JacobsonFD
+from repro.core.nfd_e import NFDE
+from repro.core.nfd_s import NFDS
+from repro.core.nfd_u import NFDU
+from repro.core.phi_accrual import PhiAccrualFD
+from repro.core.simple import SimpleFD
+from repro.errors import InvalidParameterError
+
+__all__ = ["available_detectors", "create_detector", "register_detector"]
+
+_FACTORIES: Dict[str, Callable[..., HeartbeatFailureDetector]] = {
+    NFDS.name: NFDS,
+    NFDU.name: NFDU,
+    NFDE.name: NFDE,
+    SimpleFD.name: SimpleFD,
+    PhiAccrualFD.name: PhiAccrualFD,
+    JacobsonFD.name: JacobsonFD,
+}
+
+
+def available_detectors() -> tuple:
+    """Names of all registered detector types."""
+    return tuple(sorted(_FACTORIES))
+
+
+def register_detector(
+    name: str, factory: Callable[..., HeartbeatFailureDetector]
+) -> None:
+    """Register a custom detector type under ``name``.
+
+    Raises:
+        InvalidParameterError: if the name is already taken.
+    """
+    if name in _FACTORIES:
+        raise InvalidParameterError(f"detector name {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def create_detector(name: str, **params) -> HeartbeatFailureDetector:
+    """Instantiate a registered detector type with the given parameters."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown detector {name!r}; available: {available_detectors()}"
+        ) from None
+    return factory(**params)

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish configuration problems from runtime
+misuse.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "QoSUnachievableError",
+    "InvalidParameterError",
+    "TraceError",
+    "SimulationError",
+    "EstimationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration procedure was given inconsistent or invalid inputs."""
+
+
+class QoSUnachievableError(ConfigurationError):
+    """The requested QoS cannot be achieved by *any* failure detector.
+
+    Raised by the configuration procedures of Sections 4, 5 and 6 of the
+    paper in the cases where they output "QoS cannot be achieved"
+    (Theorems 7, 10 and 12 prove that in those cases no failure detector
+    whatsoever can meet the requirements).
+    """
+
+    def __init__(self, message: str = "QoS cannot be achieved") -> None:
+        super().__init__(message)
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A parameter value is outside its legal domain (e.g. ``eta <= 0``)."""
+
+
+class TraceError(ReproError):
+    """An output trace is malformed (e.g. non-alternating transitions)."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an inconsistent state."""
+
+
+class EstimationError(ReproError):
+    """An online estimator has insufficient or inconsistent data."""

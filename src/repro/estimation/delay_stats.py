@@ -1,0 +1,122 @@
+"""Streaming and windowed estimation of ``E(D)`` and ``V(D)``.
+
+Section 5.2: p timestamps each heartbeat with its sending time ``S``; q
+records the receipt time ``A``.  ``A − S`` is the one-way delay when
+clocks are synchronized.  Section 6.2.2's observation: when clocks are
+*not* synchronized but drift-free, ``A − S = delay + skew`` for a constant
+skew, so
+
+* the **variance** of ``A − S`` still estimates ``V(D)`` exactly;
+* the **mean** of ``A − S`` estimates ``E(D) + skew`` — which is exactly
+  the "expected arrival offset" NFD-E needs, and which Theorem 11's
+  configurator never needs in the first place.
+
+:class:`DelayStatsEstimator` is a numerically stable streaming (Welford)
+estimator over the whole history; :class:`WindowedDelayStats` keeps only
+the last ``window`` samples, which is what the adaptive detector of
+Section 8.1 uses to track *current* network conditions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque
+
+from repro.errors import EstimationError, InvalidParameterError
+
+__all__ = ["DelayStatsEstimator", "WindowedDelayStats"]
+
+
+class DelayStatsEstimator:
+    """Welford streaming mean/variance of delay samples ``A − S``."""
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    @property
+    def n_samples(self) -> int:
+        return self._n
+
+    def observe(self, delay_sample: float) -> None:
+        """Record one ``A − S`` sample (may include a constant skew)."""
+        if not math.isfinite(delay_sample):
+            raise EstimationError(
+                f"delay sample must be finite, got {delay_sample}"
+            )
+        self._n += 1
+        diff = delay_sample - self._mean
+        self._mean += diff / self._n
+        self._m2 += diff * (delay_sample - self._mean)
+
+    def mean(self) -> float:
+        """Estimated ``E(D)`` (plus clock skew if unsynchronized)."""
+        if self._n == 0:
+            raise EstimationError("no delay samples observed")
+        return self._mean
+
+    def variance(self, ddof: int = 1) -> float:
+        """Estimated ``V(D)`` — skew-invariant even without synchrony."""
+        if self._n <= ddof:
+            raise EstimationError(
+                f"need more than {ddof} samples, have {self._n}"
+            )
+        return self._m2 / (self._n - ddof)
+
+
+class WindowedDelayStats:
+    """Mean/variance of the last ``window`` delay samples.
+
+    Running sums over a bounded deque: O(1) update, exact within double
+    precision (samples here are small network delays, so catastrophic
+    cancellation is not a concern at realistic window sizes).
+    """
+
+    def __init__(self, window: int) -> None:
+        if window < 2:
+            raise InvalidParameterError(f"window must be >= 2, got {window}")
+        self._window = int(window)
+        self._samples: Deque[float] = deque()
+        self._sum = 0.0
+        self._sum_sq = 0.0
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._samples)
+
+    @property
+    def full(self) -> bool:
+        return len(self._samples) == self._window
+
+    def observe(self, delay_sample: float) -> None:
+        if not math.isfinite(delay_sample):
+            raise EstimationError(
+                f"delay sample must be finite, got {delay_sample}"
+            )
+        self._samples.append(delay_sample)
+        self._sum += delay_sample
+        self._sum_sq += delay_sample * delay_sample
+        if len(self._samples) > self._window:
+            old = self._samples.popleft()
+            self._sum -= old
+            self._sum_sq -= old * old
+
+    def mean(self) -> float:
+        n = len(self._samples)
+        if n == 0:
+            raise EstimationError("no delay samples observed")
+        return self._sum / n
+
+    def variance(self, ddof: int = 1) -> float:
+        n = len(self._samples)
+        if n <= ddof:
+            raise EstimationError(f"need more than {ddof} samples, have {n}")
+        mean = self._sum / n
+        # Guard tiny negative values from floating-point rounding.
+        return max(self._sum_sq - n * mean * mean, 0.0) / (n - ddof)

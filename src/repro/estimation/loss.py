@@ -1,0 +1,76 @@
+"""Message-loss probability estimation (Section 5.2).
+
+"To estimate ``p_L``, one can use the sequence numbers of the heartbeat
+messages to count the number of 'missing' heartbeats and then divide this
+count by the highest sequence number received so far."
+
+A heartbeat counts as missing once some *higher* sequence number has been
+received — reordered (late but delivered) messages are *un*-counted when
+they eventually arrive, so the estimate converges to the true ``p_L``
+rather than to ``p_L`` plus the reordering rate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.errors import EstimationError, InvalidParameterError
+
+__all__ = ["LossRateEstimator"]
+
+
+class LossRateEstimator:
+    """Estimates ``p_L`` from observed heartbeat sequence numbers."""
+
+    def __init__(self, first_seq: int = 1) -> None:
+        if first_seq < 0:
+            raise InvalidParameterError(f"first_seq must be >= 0, got {first_seq}")
+        self._first_seq = int(first_seq)
+        self._highest: Optional[int] = None
+        self._received_count = 0
+        # Sequence numbers below the highest that have not (yet) arrived.
+        self._missing: Set[int] = set()
+
+    @property
+    def highest_seq(self) -> Optional[int]:
+        return self._highest
+
+    @property
+    def received_count(self) -> int:
+        return self._received_count
+
+    @property
+    def missing_count(self) -> int:
+        return len(self._missing)
+
+    @property
+    def n_observed(self) -> int:
+        """Number of sequence slots accounted for (highest − first + 1)."""
+        if self._highest is None:
+            return 0
+        return self._highest - self._first_seq + 1
+
+    def observe(self, seq: int) -> None:
+        """Record the receipt of heartbeat ``seq``."""
+        if seq < self._first_seq:
+            raise EstimationError(
+                f"sequence number {seq} below first_seq {self._first_seq}"
+            )
+        if self._highest is None:
+            self._missing.update(range(self._first_seq, seq))
+            self._highest = seq
+        elif seq > self._highest:
+            self._missing.update(range(self._highest + 1, seq))
+            self._highest = seq
+        elif seq in self._missing:
+            self._missing.discard(seq)  # late arrival, not a loss
+        else:
+            return  # duplicate: ignore (footnote 8: first copy counts)
+        self._received_count += 1
+
+    def estimate(self) -> float:
+        """Current estimate of ``p_L`` (0 before any observation)."""
+        n = self.n_observed
+        if n == 0:
+            return 0.0
+        return len(self._missing) / n

@@ -1,0 +1,111 @@
+"""One-stop heartbeat observer feeding all Section 5/6 estimators.
+
+:class:`HeartbeatObserver` is what the adaptive machinery (Section 8.1,
+Figs. 8 and 11) calls "the estimator": it consumes each received
+heartbeat once and maintains
+
+* the loss-rate estimate ``p_L``,
+* windowed delay statistics (``E(D)+skew``, ``V(D)``),
+* the expected-arrival-time estimate of eq. (6.3),
+
+and snapshots them as a :class:`NetworkEstimate` for the configurator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.base import Heartbeat
+from repro.core.nfd_e import ArrivalTimeEstimator
+from repro.errors import EstimationError
+from repro.estimation.delay_stats import WindowedDelayStats
+from repro.estimation.loss import LossRateEstimator
+
+__all__ = ["NetworkEstimate", "HeartbeatObserver"]
+
+
+@dataclass(frozen=True)
+class NetworkEstimate:
+    """A snapshot of the estimated network behaviour.
+
+    ``mean_delay`` includes the (constant) clock skew when clocks are
+    unsynchronized; ``var_delay`` never does.  ``n_samples`` lets
+    consumers decide whether the estimate is trustworthy yet.
+    """
+
+    loss_probability: float
+    mean_delay: float
+    var_delay: float
+    n_samples: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"p_L≈{self.loss_probability:.4f}, E(D)+skew≈{self.mean_delay:.6g}, "
+            f"V(D)≈{self.var_delay:.6g} (n={self.n_samples})"
+        )
+
+
+class HeartbeatObserver:
+    """Feeds every received heartbeat to the loss/delay/EA estimators.
+
+    Args:
+        eta: nominal heartbeat inter-sending time (for the EA estimator).
+        stats_window: number of recent delay samples for E(D)/V(D).
+        arrival_window: number of recent heartbeats for the EA estimate
+            (n in eq. 6.3; the paper's simulations use 32).
+        first_seq: first heartbeat sequence number.
+    """
+
+    def __init__(
+        self,
+        eta: float,
+        stats_window: int = 1000,
+        arrival_window: int = 32,
+        first_seq: int = 1,
+    ) -> None:
+        self._loss = LossRateEstimator(first_seq=first_seq)
+        self._stats = WindowedDelayStats(window=stats_window)
+        self._arrival = ArrivalTimeEstimator(eta=eta, window=arrival_window)
+
+    @property
+    def loss(self) -> LossRateEstimator:
+        return self._loss
+
+    @property
+    def delay_stats(self) -> WindowedDelayStats:
+        return self._stats
+
+    @property
+    def arrival(self) -> ArrivalTimeEstimator:
+        return self._arrival
+
+    def observe(self, heartbeat: Heartbeat) -> None:
+        """Consume one received heartbeat."""
+        self._loss.observe(heartbeat.seq)
+        self._stats.observe(
+            heartbeat.receive_local_time - heartbeat.send_local_time
+        )
+        self._arrival.observe(heartbeat.seq, heartbeat.receive_local_time)
+
+    def expected_arrival(self, seq: int) -> float:
+        """Estimated ``EA_seq`` (eq. 6.3) in the local clock."""
+        return self._arrival.expected_arrival(seq)
+
+    @property
+    def ready(self) -> bool:
+        """Whether enough samples exist for a variance estimate."""
+        return self._stats.n_samples >= 2
+
+    def snapshot(self) -> NetworkEstimate:
+        """Snapshot the current estimates for the configurator."""
+        if not self.ready:
+            raise EstimationError(
+                "need at least two delay samples before snapshotting"
+            )
+        return NetworkEstimate(
+            loss_probability=self._loss.estimate(),
+            mean_delay=self._stats.mean(),
+            var_delay=self._stats.variance(),
+            n_samples=self._stats.n_samples,
+        )

@@ -1,0 +1,38 @@
+"""Experiment drivers regenerating the paper's evaluation.
+
+One module per experiment (see DESIGN.md's per-experiment index):
+
+========  ===========================================================
+E1        :mod:`repro.experiments.fig12` — Fig. 12, ``E(T_MR)`` vs
+          ``T_D^U`` for NFD-S / NFD-E / SFD-L / SFD-S + analytic curve
+E2        :mod:`repro.experiments.fig12` — the ``E(T_M)`` companion
+          table ("all bounded by ≈ η")
+E3, E4    :mod:`repro.experiments.config_examples` — Section 4/5/6
+          worked configurations
+E5        :mod:`repro.experiments.nfde_window` — NFD-E ≈ NFD-U for
+          window n ≥ 30
+E6        :mod:`repro.experiments.optimality` — Theorem 6 empirically
+E7        :mod:`repro.experiments.detection_time` — detection-time
+          bounds (tightness of ``δ + η``; SFD's ``c + TO``)
+E8        :mod:`repro.experiments.cutoff_ablation` — SFD cutoff sweep
+E9        :mod:`repro.experiments.distributions` — delay-distribution
+          sensitivity + Section 5 bound conservatism
+E10       :mod:`repro.experiments.adaptive_exp` — adaptivity under a
+          network regime change
+E11       :mod:`repro.experiments.phi_comparison` — φ-accrual
+          extension vs NFD-E
+E12       :mod:`repro.experiments.profile_costs` — what a contract
+          costs (in heartbeat rate) on each named network profile
+E13       :mod:`repro.experiments.gossip_comparison` — gossip-style
+          detection vs NFD-E at matched message budgets
+========  ===========================================================
+
+Every driver returns an :class:`repro.experiments.common.ExperimentTable`
+(also printable as text) so benchmarks, tests and the CLI share one code
+path.  ``python -m repro.experiments <name> [--full]`` regenerates any of
+them from the command line.
+"""
+
+from repro.experiments.common import ExperimentTable, FIG12_SETTINGS
+
+__all__ = ["ExperimentTable", "FIG12_SETTINGS"]

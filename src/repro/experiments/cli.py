@@ -1,0 +1,140 @@
+"""Command-line entry point regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments <experiment> [--full] [--out DIR]
+    python -m repro.experiments all --out results/
+
+``--full`` runs at the paper's scale (Fig. 12 with 500 mistake-recurrence
+intervals per point, up to ~5·10⁸ heartbeats for the largest ``T_D^U``);
+the default is a faster, shape-preserving scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.experiments.adaptive_exp import run_adaptive
+from repro.experiments.common import ExperimentTable
+from repro.experiments.config_examples import run_config_examples
+from repro.experiments.cutoff_ablation import run_cutoff_ablation
+from repro.experiments.detection_time import run_detection_time
+from repro.experiments.distributions import run_distributions
+from repro.experiments.gossip_comparison import run_gossip_comparison
+from repro.experiments.fig12 import (
+    fig12_ascii_plot,
+    fig12_tm_table,
+    fig12_tmr_table,
+    run_fig12,
+)
+from repro.experiments.nfde_window import run_nfde_window
+from repro.experiments.optimality import run_optimality
+from repro.experiments.phi_comparison import run_phi_comparison
+from repro.experiments.profile_costs import run_profile_costs
+
+__all__ = ["main"]
+
+
+def _fig12_tables(full: bool):
+    points = run_fig12(
+        target_mistakes=500 if full else 200,
+        max_heartbeats=600_000_000 if full else 30_000_000,
+    )
+    tables = [fig12_tmr_table(points), fig12_tm_table(points)]
+    print()
+    print(fig12_ascii_plot(points))
+    return tables
+
+
+_EXPERIMENTS: Dict[str, Callable[[bool], list]] = {
+    "fig12": _fig12_tables,
+    "config-examples": lambda full: [run_config_examples()],
+    "nfde-window": lambda full: [
+        run_nfde_window(target_mistakes=3000 if full else 800)
+    ],
+    "optimality": lambda full: [
+        run_optimality(target_mistakes=5000 if full else 1000)
+    ],
+    "detection-time": lambda full: [
+        run_detection_time(n_runs=1000 if full else 200)
+    ],
+    "cutoff-ablation": lambda full: [
+        run_cutoff_ablation(target_mistakes=2000 if full else 500)
+    ],
+    "distributions": lambda full: [
+        run_distributions(target_mistakes=2000 if full else 500)
+    ],
+    "adaptive": lambda full: [run_adaptive()],
+    "phi-accrual": lambda full: [
+        run_phi_comparison(horizon=100_000.0 if full else 20_000.0)
+    ],
+    "profile-costs": lambda full: [run_profile_costs()],
+    "gossip": lambda full: [
+        run_gossip_comparison(
+            horizon=40_000.0 if full else 10_000.0,
+            n_crash_runs=200 if full else 40,
+        )
+    ],
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation of 'On the Quality of Service of "
+            "Failure Detectors' (Chen, Toueg, Aguilera)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all", "report"],
+        help=(
+            "which experiment to run ('all' for every one; 'report' "
+            "writes a single markdown report with every table)"
+        ),
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at the paper's full statistical scale (slow)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to save result tables as text files",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        from repro.experiments.report import generate_report
+
+        out_dir = args.out if args.out is not None else Path("results")
+        path = generate_report(out_dir / "REPORT.md", full=args.full)
+        print(f"report written: {path}")
+        return 0
+
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        tables = _EXPERIMENTS[name](args.full)
+        elapsed = time.time() - start
+        for i, table in enumerate(tables):
+            print()
+            print(table.to_text())
+            if args.out is not None:
+                suffix = f"-{i}" if len(tables) > 1 else ""
+                path = args.out / f"{name}{suffix}.txt"
+                table.save(path)
+                print(f"  saved: {path}")
+        print(f"  [{name}: {elapsed:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""E9 — delay-distribution sensitivity and Section 5 bound conservatism.
+
+The NFD-S analysis (Theorem 5) holds for *any* delay distribution; the
+Section 5 configurator only sees ``(E(D), V(D))``.  Two questions:
+
+1. How much does the actual distribution *shape* (at matched mean and
+   variance) move the accuracy of one fixed NFD-S configuration?
+   Answer: a lot — the tail ``P(D > δ − jη)`` is what enters ``u(0)``,
+   and tails differ wildly at matched second moments.  This is exactly
+   why the distribution-free procedure must be conservative.
+2. How conservative is the Theorem 9 lower bound ``η/β`` on ``E(T_MR)``
+   compared to the per-distribution exact value?
+
+Each row: one distribution family at mean 0.02 / std 0.02 (matching the
+paper's exponential), analytic ``E(T_MR)``/``E(T_M)`` via Theorem 5, a
+simulation check, and the distribution-free Theorem 9 bounds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.chebyshev import nfds_accuracy_bounds
+from repro.analysis.nfds_theory import NFDSAnalysis
+from repro.experiments.common import FIG12_SETTINGS, ExperimentTable, Fig12Settings
+from repro.net.delays import (
+    DelayDistribution,
+    ExponentialDelay,
+    GammaDelay,
+    LogNormalDelay,
+    ParetoDelay,
+    UniformDelay,
+)
+from repro.sim.fastsim import simulate_nfds_fast
+
+__all__ = ["matched_distributions", "run_distributions"]
+
+
+def matched_distributions(
+    mean: float, std: float
+) -> List[Tuple[str, DelayDistribution]]:
+    """Distribution families matched to the given mean and std.
+
+    Note that a gamma matched to ``std == mean`` *is* the exponential
+    (shape 1), and the uniform can only match when ``mean ≥ std·√3`` —
+    both are included exactly when they are distinct/feasible.
+    """
+    out: List[Tuple[str, DelayDistribution]] = [
+        ("gamma", GammaDelay.from_mean_std(mean, std)),
+        ("lognormal", LogNormalDelay.from_mean_std(mean, std)),
+        ("pareto", ParetoDelay.from_mean_std(mean, std)),
+    ]
+    if abs(std - mean) > 1e-12 * mean:
+        out.insert(0, ("exponential*", ExponentialDelay(mean)))
+    else:
+        # shape-1 gamma already *is* the exponential; label it so.
+        out[0] = ("exponential", ExponentialDelay(mean))
+    try:
+        out.append(("uniform", UniformDelay.from_mean_std(mean, std)))
+    except Exception:
+        pass  # uniform needs mean >= std*sqrt(3); skip when unmatched
+    return out
+
+
+def run_distributions(
+    tdu: float = 2.5,
+    settings: Fig12Settings = FIG12_SETTINGS,
+    mean: float = 0.1,
+    std: float = 0.3,
+    loss_probability: float = 0.001,
+    target_mistakes: int = 1000,
+    max_heartbeats: int = 20_000_000,
+    seed: int = 909,
+) -> ExperimentTable:
+    """NFD-S accuracy across matched-moment delay distributions.
+
+    Defaults deliberately differ from the Section 7 settings: at the
+    paper's tiny delays (E(D) = 0.02) the ``p_L`` term dominates every
+    ``p_j`` factor and all shapes coincide — itself worth knowing, but
+    uninformative as an ablation.  With heavier delays (mean 0.1,
+    std 0.3) and rarer losses (0.001), the tail ``P(D > δ − jη)`` is the
+    binding term and the families separate by an order of magnitude at
+    identical first and second moments — the quantitative case for the
+    conservatism of the Section 5 distribution-free procedure.
+    """
+    eta = settings.eta
+    p_l = loss_probability
+    sd = std
+    delta = tdu - eta
+
+    bounds = nfds_accuracy_bounds(
+        eta=eta,
+        delta=delta,
+        loss_probability=p_l,
+        mean_delay=mean,
+        var_delay=sd * sd,
+    )
+
+    table = ExperimentTable(
+        title=(
+            f"Delay-distribution sensitivity of NFD-S at "
+            f"eta={eta}, delta={delta:g} (all with E(D)={mean}, sd={sd})"
+        ),
+        columns=[
+            "distribution",
+            "E(T_MR) exact",
+            "E(T_MR) sim",
+            "E(T_M) exact",
+            "P_A exact",
+        ],
+    )
+    for name, dist in matched_distributions(mean, sd):
+        analysis = NFDSAnalysis(eta, delta, p_l, dist)
+        sim = simulate_nfds_fast(
+            eta,
+            delta,
+            p_l,
+            dist,
+            seed=seed,
+            target_mistakes=target_mistakes,
+            max_heartbeats=max_heartbeats,
+        )
+        table.add_row(
+            name,
+            analysis.e_tmr(),
+            sim.e_tmr,
+            analysis.e_tm(),
+            analysis.query_accuracy(),
+        )
+    table.add_note(
+        f"Theorem 9 distribution-free bounds at these moments: "
+        f"E(T_MR) >= {bounds.e_tmr_lower:.4g}, E(T_M) <= {bounds.e_tm_upper:.4g}"
+    )
+    table.add_note(
+        "every per-distribution exact value must respect the bounds; the "
+        "gap is the price of not knowing the distribution (Section 5)"
+    )
+    return table

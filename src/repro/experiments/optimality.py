@@ -1,0 +1,112 @@
+"""E6 — Theorem 6 empirically: NFD-S has the best query accuracy.
+
+Among all detectors that (a) send heartbeats every η and (b) guarantee
+``T_D ≤ T_D^U``, NFD-S with ``δ = T_D^U − η`` maximizes ``P_A``.  We
+check the claim against every competitor in this library that satisfies
+(a) and (b): the cutoff SFDs at several cutoffs, and NFD-S itself with a
+*sub-optimal* (smaller) δ — all measured on the same workload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.nfds_theory import NFDSAnalysis
+from repro.experiments.common import FIG12_SETTINGS, ExperimentTable, Fig12Settings
+from repro.sim.fastsim import simulate_nfds_fast, simulate_sfd_fast
+
+__all__ = ["run_optimality"]
+
+
+def run_optimality(
+    tdu: float = 2.0,
+    settings: Fig12Settings = FIG12_SETTINGS,
+    cutoffs: Optional[Sequence[float]] = None,
+    target_mistakes: int = 2000,
+    max_heartbeats: int = 20_000_000,
+    seed: int = 606,
+) -> ExperimentTable:
+    """Compare ``P_A`` across same-rate, same-detection-bound detectors."""
+    if cutoffs is None:
+        cutoffs = [0.04, 0.08, 0.16, 0.32, 0.64]
+    eta = settings.eta
+    p_l = settings.loss_probability
+    delay = settings.delay
+    delta_star = tdu - eta
+
+    table = ExperimentTable(
+        title=(
+            f"Theorem 6 (optimality): P_A at equal rate eta={eta} and "
+            f"equal detection bound T_D^U={tdu}"
+        ),
+        columns=["detector", "P_A (sim)", "1-P_A (sim)", "E(T_MR)", "E(T_M)"],
+    )
+
+    star = simulate_nfds_fast(
+        eta,
+        delta_star,
+        p_l,
+        delay,
+        seed=seed,
+        target_mistakes=target_mistakes,
+        max_heartbeats=max_heartbeats,
+    )
+    table.add_row(
+        f"NFD-S* (delta={delta_star:g})",
+        star.query_accuracy,
+        1.0 - star.query_accuracy,
+        star.e_tmr,
+        star.e_tm,
+    )
+
+    # A deliberately mis-parameterized NFD-S (smaller delta still meets
+    # the bound, but wastes accuracy) — shows delta = T_D^U - eta is the
+    # right choice within the NFD family too.
+    for frac in (0.5, 0.75):
+        delta = delta_star * frac
+        sub = simulate_nfds_fast(
+            eta,
+            delta,
+            p_l,
+            delay,
+            seed=seed + 1,
+            target_mistakes=target_mistakes,
+            max_heartbeats=max_heartbeats,
+        )
+        table.add_row(
+            f"NFD-S (delta={delta:g})",
+            sub.query_accuracy,
+            1.0 - sub.query_accuracy,
+            sub.e_tmr,
+            sub.e_tm,
+        )
+
+    for c in cutoffs:
+        if c >= tdu:
+            continue
+        r = simulate_sfd_fast(
+            eta,
+            tdu - c,
+            p_l,
+            delay,
+            cutoff=c,
+            seed=seed + 2,
+            target_mistakes=target_mistakes,
+            max_heartbeats=max_heartbeats,
+        )
+        table.add_row(
+            f"SFD (c={c:g})",
+            r.query_accuracy,
+            1.0 - r.query_accuracy,
+            r.e_tmr,
+            r.e_tm,
+        )
+
+    analytic = NFDSAnalysis(eta, delta_star, p_l, delay)
+    table.add_note(
+        f"analytic P_A of NFD-S*: {analytic.query_accuracy():.8f}"
+    )
+    table.add_note(
+        "Theorem 6 predicts the first row has the highest P_A of all rows"
+    )
+    return table

@@ -1,0 +1,97 @@
+"""E12 (extension) — what a QoS contract costs on different networks.
+
+The paper's configuration story in one table: fix an application
+contract and ask, for each network profile, what heartbeat rate the
+Section 4 procedure demands (known distribution) and what the
+distribution-free Section 5 procedure demands (mean/variance only).
+The gap between the two columns is the bandwidth price of not knowing
+the delay law; an "unachievable" row is Theorem 7/10's impossibility
+verdict, not a solver failure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.analysis.configurator import configure_nfds
+from repro.analysis.configurator_unknown import configure_nfds_unknown
+from repro.errors import QoSUnachievableError
+from repro.experiments.common import ExperimentTable
+from repro.experiments.workloads import PROFILES
+from repro.metrics.qos import QoSRequirements
+
+__all__ = ["run_profile_costs"]
+
+DEFAULT_CONTRACT = QoSRequirements(
+    detection_time_upper=2.0,
+    mistake_recurrence_lower=3600.0,  # one mistake per hour at most
+    mistake_duration_upper=1.0,
+)
+
+
+def run_profile_costs(
+    contract: QoSRequirements = DEFAULT_CONTRACT,
+    profiles: Optional[Sequence[str]] = None,
+) -> ExperimentTable:
+    """Configuration cost of one contract across network profiles."""
+    names = sorted(PROFILES) if profiles is None else list(profiles)
+    table = ExperimentTable(
+        title=(
+            f"Heartbeat rate needed per network for the contract "
+            f"T_D<={contract.detection_time_upper:g}, "
+            f"T_MR>={contract.mistake_recurrence_lower:g}, "
+            f"T_M<={contract.mistake_duration_upper:g}"
+        ),
+        columns=[
+            "profile",
+            "E(D)",
+            "p_L",
+            "eta (Sec 4)",
+            "eta (Sec 5)",
+            "rate ratio",
+        ],
+    )
+    for name in names:
+        profile = PROFILES[name]
+        try:
+            known = configure_nfds(
+                contract, profile.loss_probability, profile.delay
+            ).eta
+        except QoSUnachievableError:
+            known = math.nan
+        try:
+            if contract.detection_time_upper > profile.mean_delay:
+                unknown = configure_nfds_unknown(
+                    contract,
+                    profile.loss_probability,
+                    profile.mean_delay,
+                    profile.var_delay,
+                ).eta
+            else:
+                unknown = math.nan
+        except QoSUnachievableError:
+            unknown = math.nan
+        ratio = (
+            known / unknown
+            if not (math.isnan(known) or math.isnan(unknown))
+            else math.nan
+        )
+        table.add_row(
+            name,
+            profile.mean_delay,
+            profile.loss_probability,
+            known,
+            unknown,
+            ratio,
+        )
+    table.add_note(
+        "eta is the heartbeat inter-sending period: smaller = more "
+        "bandwidth; nan = contract unachievable by ANY failure detector "
+        "(Theorems 7/10)"
+    )
+    table.add_note(
+        "'rate ratio' = Sec4 eta / Sec5 eta >= 1: the bandwidth price of "
+        "not knowing the delay distribution"
+    )
+    return table

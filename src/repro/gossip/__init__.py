@@ -1,0 +1,19 @@
+"""Gossip-style failure detection (extension).
+
+Van Renesse, Minsky & Hayden's *A Gossip-Style Failure Detection
+Service* (Middleware '98) is the main alternative architecture the
+paper's related-work section discusses — and criticizes for measuring
+accuracy by the implementation-specific "probability of premature
+timeouts" instead of implementation-independent QoS metrics
+(Section 2.3's closing argument).
+
+This package implements the protocol so that the criticism can be made
+quantitative: :mod:`repro.experiments.gossip_comparison` evaluates
+gossip with the *paper's* metrics (`T_D`, `E(T_MR)`, `P_A`) on the same
+workloads as NFD, at matched per-process message budgets.
+"""
+
+from repro.gossip.node import GossipNode
+from repro.gossip.simulation import GossipCluster, GossipResult, run_gossip
+
+__all__ = ["GossipNode", "GossipCluster", "GossipResult", "run_gossip"]

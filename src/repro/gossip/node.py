@@ -1,0 +1,149 @@
+"""One node of the gossip failure-detection protocol.
+
+Protocol (van Renesse et al. 1998, basic variant):
+
+* every node keeps a *heartbeat vector*: for each known member, a
+  counter and the local time at which that counter last increased;
+* every ``t_gossip`` the node increments its own counter and sends its
+  whole vector to one uniformly random other member;
+* on receiving a vector it merges entry-wise maxima, stamping the local
+  receipt time wherever a counter increased;
+* it *suspects* any member whose counter has not increased for
+  ``t_fail`` local time units.
+
+The node is transport-agnostic: the cluster wiring (who delivers what,
+with which delays/losses) lives in :mod:`repro.gossip.simulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["VectorEntry", "GossipNode"]
+
+
+@dataclass
+class VectorEntry:
+    """One member's heartbeat state as seen by a node."""
+
+    counter: int
+    last_increase: float  # local time of the last counter increase
+
+
+class GossipNode:
+    """A gossip participant.
+
+    Args:
+        node_id: this node's identity.
+        members: all member identities (including this node).
+        t_gossip: gossip period.
+        t_fail: suspicion threshold on counter staleness.
+        send: callback ``send(src, dst, vector_copy)`` used each round.
+        rng: random generator for peer selection.
+        now: callback returning the node's local time.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        members: Sequence[str],
+        t_gossip: float,
+        t_fail: float,
+        send: Callable[[str, str, Dict[str, int]], None],
+        rng: np.random.Generator,
+        now: Callable[[], float],
+    ) -> None:
+        if t_gossip <= 0 or t_fail <= 0:
+            raise InvalidParameterError("t_gossip and t_fail must be positive")
+        if t_fail <= t_gossip:
+            raise InvalidParameterError(
+                "t_fail must exceed t_gossip (otherwise every member is "
+                "suspected between rounds)"
+            )
+        if node_id not in members:
+            raise InvalidParameterError("node_id must be one of members")
+        if len(set(members)) != len(members):
+            raise InvalidParameterError("duplicate member ids")
+        self.node_id = node_id
+        self._peers = [m for m in members if m != node_id]
+        if not self._peers:
+            raise InvalidParameterError("need at least two members")
+        self._t_gossip = float(t_gossip)
+        self._t_fail = float(t_fail)
+        self._send = send
+        self._rng = rng
+        self._now = now
+        start = now()
+        self._vector: Dict[str, VectorEntry] = {
+            m: VectorEntry(counter=0, last_increase=start) for m in members
+        }
+        self.crashed = False
+
+    @property
+    def t_gossip(self) -> float:
+        return self._t_gossip
+
+    @property
+    def t_fail(self) -> float:
+        return self._t_fail
+
+    @property
+    def vector(self) -> Dict[str, VectorEntry]:
+        return self._vector
+
+    # ------------------------------------------------------------------ #
+    # Protocol actions
+    # ------------------------------------------------------------------ #
+
+    def gossip_round(self) -> Optional[str]:
+        """Increment own counter and gossip to one random peer.
+
+        Returns the chosen peer (None if this node has crashed).
+        """
+        if self.crashed:
+            return None
+        me = self._vector[self.node_id]
+        me.counter += 1
+        me.last_increase = self._now()
+        peer = self._peers[int(self._rng.integers(len(self._peers)))]
+        payload = {m: e.counter for m, e in self._vector.items()}
+        self._send(self.node_id, peer, payload)
+        return peer
+
+    def receive(self, payload: Dict[str, int]) -> None:
+        """Merge a received heartbeat vector (entry-wise maximum)."""
+        if self.crashed:
+            return
+        now = self._now()
+        for member, counter in payload.items():
+            entry = self._vector.get(member)
+            if entry is None:
+                self._vector[member] = VectorEntry(counter, now)
+            elif counter > entry.counter:
+                entry.counter = counter
+                entry.last_increase = now
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def suspects(self, member: str) -> bool:
+        """Whether this node currently suspects ``member``."""
+        if member == self.node_id:
+            return False
+        entry = self._vector[member]
+        return self._now() - entry.last_increase > self._t_fail
+
+    def suspected_set(self) -> frozenset:
+        return frozenset(
+            m for m in self._vector if m != self.node_id and self.suspects(m)
+        )
+
+    def suspicion_flip_time(self, member: str) -> float:
+        """Local time at which ``member`` becomes suspected, absent news."""
+        return self._vector[member].last_increase + self._t_fail

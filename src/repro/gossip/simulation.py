@@ -1,0 +1,247 @@
+"""Cluster wiring and measurement for the gossip protocol.
+
+Runs N gossip nodes on the discrete-event simulator over pairwise lossy
+links and records, for a chosen (observer, subject) pair, the full S/T
+output trace — so gossip is measured with exactly the paper's QoS
+metrics rather than the "probability of premature timeouts" the paper
+criticizes (Section 2.3).
+
+Message-budget accounting: each node sends one vector per ``t_gossip``,
+so its per-process send rate is ``1/t_gossip`` — directly comparable to
+a heartbeat detector's ``(N−1)/η`` when it monitors everybody.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.gossip.node import GossipNode
+from repro.metrics.transitions import SUSPECT, TRUST, OutputTrace
+from repro.net.delays import DelayDistribution
+from repro.sim.engine import Simulator
+
+__all__ = ["GossipCluster", "GossipResult", "run_gossip"]
+
+
+@dataclass
+class GossipResult:
+    """Measurements from one gossip run."""
+
+    traces: Dict[Tuple[str, str], OutputTrace]
+    messages_sent: int
+    horizon: float
+    crash_time: Optional[float]
+    n_nodes: int
+    detection_times: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def per_process_send_rate(self) -> float:
+        # messages / (nodes * time); crashed nodes stop sending, which
+        # slightly understates the rate — fine for budget comparisons.
+        return self.messages_sent / (self.n_nodes * self.horizon)
+
+
+class GossipCluster:
+    """N gossip nodes over pairwise lossy links on one simulator."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        t_gossip: float,
+        t_fail: float,
+        delay: DelayDistribution,
+        loss_probability: float,
+        seed: int = 0,
+    ) -> None:
+        if n_nodes < 2:
+            raise InvalidParameterError(f"need >= 2 nodes, got {n_nodes}")
+        if not 0.0 <= loss_probability < 1.0:
+            raise InvalidParameterError(
+                f"loss_probability must be in [0,1), got {loss_probability}"
+            )
+        self.sim = Simulator()
+        self._delay = delay
+        self._p_l = float(loss_probability)
+        self._rng = np.random.default_rng(seed)
+        self.members = [f"n{i}" for i in range(n_nodes)]
+        self.nodes: Dict[str, GossipNode] = {}
+        self.messages_sent = 0
+        for m in self.members:
+            self.nodes[m] = GossipNode(
+                node_id=m,
+                members=self.members,
+                t_gossip=t_gossip,
+                t_fail=t_fail,
+                send=self._transmit,
+                # crc32, not hash(): str hashing is salted per process
+                # and would make runs irreproducible.
+                rng=np.random.default_rng(
+                    np.random.SeedSequence([seed, zlib.crc32(m.encode())])
+                ),
+                now=lambda: self.sim.now,
+            )
+        self._t_gossip = float(t_gossip)
+        # Observed pairs: (observer, subject) -> trace recording state.
+        self._watch: Dict[Tuple[str, str], OutputTrace] = {}
+        self._watch_state: Dict[Tuple[str, str], str] = {}
+        self._wrapped: set = set()
+        self._armed: Dict[Tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+
+    def _transmit(self, src: str, dst: str, payload: Dict[str, int]) -> None:
+        self.messages_sent += 1
+        if self._p_l > 0.0 and self._rng.random() < self._p_l:
+            return
+        d = float(self._delay.sample(self._rng, 1)[0])
+        self.sim.schedule_at(
+            self.sim.now + d, lambda: self.nodes[dst].receive(payload)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Watching pairs
+    # ------------------------------------------------------------------ #
+
+    def watch(self, observer: str, subject: str) -> None:
+        """Record the S/T output of ``observer`` about ``subject``.
+
+        Recording is exactly event-driven: trust can begin only when a
+        receive event advances the subject's counter (the node's
+        ``receive`` is wrapped to evaluate immediately), and suspicion
+        begins exactly at the staleness deadline (tracked with a lazy
+        timer that re-arms itself whenever fresh news moved the
+        deadline).
+        """
+        if observer == subject:
+            raise InvalidParameterError("observer must differ from subject")
+        key = (observer, subject)
+        self._watch[key] = OutputTrace(
+            start_time=self.sim.now, initial_output=SUSPECT
+        )
+        self._watch_state[key] = SUSPECT
+        node = self.nodes[observer]
+        if observer not in self._wrapped:
+            self._wrapped.add(observer)
+            original = node.receive
+
+            def receive_and_evaluate(payload, _orig=original, _obs=observer):
+                _orig(payload)
+                for k in list(self._watch):
+                    if k[0] == _obs:
+                        self._evaluate(k)
+
+            node.receive = receive_and_evaluate  # type: ignore[method-assign]
+        self._evaluate(key)
+
+    def _evaluate(self, key: Tuple[str, str]) -> None:
+        """Record a transition if the observer's view of subject flipped;
+        keep exactly one lazy timer armed for the staleness deadline."""
+        observer, subject = key
+        node = self.nodes[observer]
+        state = SUSPECT if node.suspects(subject) else TRUST
+        if state != self._watch_state[key]:
+            self._watch_state[key] = state
+            self._watch[key].record(self.sim.now, state)
+        if state == TRUST:
+            deadline = node.suspicion_flip_time(subject)
+            # Arm at most one timer per (key, deadline): re-arming on
+            # every receive would leak one self-renewing timer each.
+            if deadline > self.sim.now and self._armed.get(key) != deadline:
+                self._armed[key] = deadline
+
+                def fire(expected=deadline) -> None:
+                    if self._armed.get(key) == expected:
+                        self._armed.pop(key, None)
+                        self._evaluate(key)
+
+                self.sim.schedule_at(deadline, fire)
+
+    # ------------------------------------------------------------------ #
+    # Driving
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        for i, m in enumerate(self.members):
+            # Stagger rounds uniformly to avoid synchronized bursts.
+            offset = (i + 1) / (len(self.members) + 1) * self._t_gossip
+            self._arm_round(m, self.sim.now + offset)
+
+    def _arm_round(self, member: str, when: float) -> None:
+        def fire() -> None:
+            node = self.nodes[member]
+            if node.crashed:
+                return
+            node.gossip_round()
+            self._arm_round(member, self.sim.now + self._t_gossip)
+
+        self.sim.schedule_at(when, fire)
+
+    def crash(self, member: str) -> None:
+        self.nodes[member].crashed = True
+
+    def finish(self) -> Dict[Tuple[str, str], OutputTrace]:
+        return {
+            key: trace.close(self.sim.now)
+            for key, trace in self._watch.items()
+        }
+
+
+def run_gossip(
+    n_nodes: int,
+    t_gossip: float,
+    t_fail: float,
+    delay: DelayDistribution,
+    loss_probability: float,
+    horizon: float,
+    crash_member: Optional[str] = None,
+    crash_time: Optional[float] = None,
+    seed: int = 0,
+) -> GossipResult:
+    """Run a gossip cluster, watching every node's view of one subject.
+
+    The *subject* is the crashed member when a crash is scheduled, else
+    the last member; every other node observes it.
+    """
+    cluster = GossipCluster(
+        n_nodes, t_gossip, t_fail, delay, loss_probability, seed=seed
+    )
+    subject = crash_member if crash_member else cluster.members[-1]
+    for observer in cluster.members:
+        if observer != subject:
+            cluster.watch(observer, subject)
+    cluster.start()
+    if crash_member is not None:
+        when = crash_time if crash_time is not None else horizon / 2.0
+        cluster.sim.schedule_at(when, lambda: cluster.crash(crash_member))
+    else:
+        when = None
+    cluster.sim.run_until(horizon)
+    traces = cluster.finish()
+
+    detection: Dict[str, float] = {}
+    if crash_member is not None:
+        for (observer, subj), trace in traces.items():
+            if subj != crash_member:
+                continue
+            if trace.current_output != SUSPECT:
+                detection[observer] = math.inf
+                continue
+            transitions = trace.transitions
+            final = transitions[-1].time if transitions else trace.start_time
+            detection[observer] = max(0.0, final - when)
+    return GossipResult(
+        traces=traces,
+        messages_sent=cluster.messages_sent,
+        horizon=horizon,
+        crash_time=when,
+        n_nodes=n_nodes,
+        detection_times=detection,
+    )

@@ -1,0 +1,116 @@
+"""Serialization of traces and accuracy estimates.
+
+Long QoS evaluations are expensive (Fig. 12's large points simulate
+hundreds of millions of heartbeats); being able to persist the output
+traces and the derived estimates lets users separate *measurement* from
+*analysis* — re-deriving metrics, recomputing confidence intervals, or
+comparing runs without re-simulating.
+
+Formats are plain JSON-compatible dictionaries (human-inspectable,
+version-tagged) with NumPy arrays stored as lists.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.metrics.qos import AccuracyEstimate
+from repro.metrics.transitions import OutputTrace
+
+__all__ = [
+    "trace_to_dict",
+    "trace_from_dict",
+    "save_trace",
+    "load_trace",
+    "accuracy_to_dict",
+    "accuracy_from_dict",
+]
+
+_TRACE_FORMAT = "repro.trace/1"
+_ACCURACY_FORMAT = "repro.accuracy/1"
+
+
+def trace_to_dict(trace: OutputTrace) -> Dict[str, Any]:
+    """Serialize a closed trace to a JSON-compatible dict."""
+    if not trace.closed:
+        raise TraceError("only closed traces can be serialized")
+    return {
+        "format": _TRACE_FORMAT,
+        "start_time": trace.start_time,
+        "end_time": trace.end_time,
+        "initial_output": trace.initial_output,
+        "transitions": [
+            [t.time, t.kind.new_output] for t in trace.transitions
+        ],
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> OutputTrace:
+    """Reconstruct a trace serialized by :func:`trace_to_dict`."""
+    if data.get("format") != _TRACE_FORMAT:
+        raise TraceError(
+            f"not a serialized trace (format={data.get('format')!r})"
+        )
+    return OutputTrace.from_transitions(
+        [(float(t), str(o)) for t, o in data["transitions"]],
+        start_time=float(data["start_time"]),
+        initial_output=str(data["initial_output"]),
+        end_time=float(data["end_time"]),
+    )
+
+
+def save_trace(trace: OutputTrace, path: Union[str, Path]) -> None:
+    """Write a closed trace to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace_to_dict(trace)))
+
+
+def load_trace(path: Union[str, Path]) -> OutputTrace:
+    """Read a trace written by :func:`save_trace`."""
+    return trace_from_dict(json.loads(Path(path).read_text()))
+
+
+def accuracy_to_dict(estimate: AccuracyEstimate) -> Dict[str, Any]:
+    """Serialize an accuracy estimate, including the raw samples."""
+    return {
+        "format": _ACCURACY_FORMAT,
+        "e_tmr": estimate.e_tmr,
+        "e_tm": estimate.e_tm,
+        "e_tg": estimate.e_tg,
+        "query_accuracy": estimate.query_accuracy,
+        "mistake_rate": estimate.mistake_rate,
+        "e_tfg": estimate.e_tfg,
+        "n_mistakes": estimate.n_mistakes,
+        "observation_time": estimate.observation_time,
+        "tmr_samples": estimate.tmr_samples.tolist(),
+        "tm_samples": estimate.tm_samples.tolist(),
+        "tg_samples": estimate.tg_samples.tolist(),
+    }
+
+
+def accuracy_from_dict(data: Dict[str, Any]) -> AccuracyEstimate:
+    """Reconstruct an estimate serialized by :func:`accuracy_to_dict`."""
+    if data.get("format") != _ACCURACY_FORMAT:
+        raise TraceError(
+            f"not a serialized accuracy estimate "
+            f"(format={data.get('format')!r})"
+        )
+    return AccuracyEstimate(
+        e_tmr=float(data["e_tmr"]),
+        e_tm=float(data["e_tm"]),
+        e_tg=float(data["e_tg"]),
+        query_accuracy=float(data["query_accuracy"]),
+        mistake_rate=float(data["mistake_rate"]),
+        e_tfg=float(data["e_tfg"]),
+        n_mistakes=int(data["n_mistakes"]),
+        observation_time=float(data["observation_time"]),
+        tmr_samples=np.asarray(data["tmr_samples"], dtype=float),
+        tm_samples=np.asarray(data["tm_samples"], dtype=float),
+        tg_samples=np.asarray(data["tg_samples"], dtype=float),
+    )

@@ -1,0 +1,300 @@
+"""Estimating the paper's QoS metrics from observed output traces.
+
+* :class:`QoSRequirements` is the tuple ``(T_D^U, T_MR^L, T_M^U)`` of
+  Section 4 — the contract an application hands to the configurators.
+* :func:`estimate_accuracy` turns a failure-free :class:`OutputTrace` into
+  an :class:`AccuracyEstimate` holding all six accuracy metrics.
+* :func:`detection_times` measures ``T_D`` over a collection of crash runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, TraceError
+from repro.metrics import relations
+from repro.metrics.transitions import SUSPECT, OutputTrace
+
+__all__ = [
+    "QoSRequirements",
+    "AccuracyEstimate",
+    "estimate_accuracy",
+    "pool_accuracy",
+    "detection_times",
+]
+
+
+@dataclass(frozen=True)
+class QoSRequirements:
+    """A QoS contract ``(T_D^U, T_MR^L, T_M^U)`` (paper, eq. 4.1).
+
+    Attributes:
+        detection_time_upper: ``T_D^U`` — worst-case detection time bound.
+        mistake_recurrence_lower: ``T_MR^L`` — lower bound on the *average*
+            time between mistakes.
+        mistake_duration_upper: ``T_M^U`` — upper bound on the *average*
+            time to correct a mistake.
+    """
+
+    detection_time_upper: float
+    mistake_recurrence_lower: float
+    mistake_duration_upper: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "detection_time_upper",
+            "mistake_recurrence_lower",
+            "mistake_duration_upper",
+        ):
+            value = getattr(self, name)
+            if not (value > 0 and math.isfinite(value)):
+                raise InvalidParameterError(
+                    f"{name} must be positive and finite, got {value}"
+                )
+
+    # Derived-metric bounds implied by the contract (paper, footnote 11).
+
+    @property
+    def mistake_rate_upper(self) -> float:
+        """Implied bound ``λ_M ≤ 1 / T_MR^L``."""
+        return 1.0 / self.mistake_recurrence_lower
+
+    @property
+    def query_accuracy_lower(self) -> float:
+        """Implied bound ``P_A ≥ (T_MR^L - T_M^U) / T_MR^L``."""
+        return (
+            self.mistake_recurrence_lower - self.mistake_duration_upper
+        ) / self.mistake_recurrence_lower
+
+    @property
+    def good_period_lower(self) -> float:
+        """Implied bound ``E(T_G) ≥ T_MR^L - T_M^U``."""
+        return self.mistake_recurrence_lower - self.mistake_duration_upper
+
+    @property
+    def forward_good_period_lower(self) -> float:
+        """Implied bound ``E(T_FG) ≥ (T_MR^L - T_M^U) / 2``."""
+        return self.good_period_lower / 2.0
+
+
+@dataclass
+class AccuracyEstimate:
+    """Point estimates of the six accuracy metrics from one or more runs.
+
+    ``nan`` marks metrics that could not be estimated from the available
+    samples (e.g. no completed mistake in the window).
+    """
+
+    e_tmr: float
+    e_tm: float
+    e_tg: float
+    query_accuracy: float
+    mistake_rate: float
+    e_tfg: float
+    n_mistakes: int
+    observation_time: float
+    tmr_samples: np.ndarray = field(repr=False)
+    tm_samples: np.ndarray = field(repr=False)
+    tg_samples: np.ndarray = field(repr=False)
+
+    def satisfies(
+        self, req: QoSRequirements, *, slack: float = 1.0
+    ) -> bool:
+        """Whether the *accuracy* part of ``req`` holds for these estimates.
+
+        ``slack`` < 1 tightens the check (useful in tests that must pass
+        with statistical noise); detection time is checked separately via
+        :func:`detection_times` since it needs crash runs.
+        """
+        if not math.isnan(self.e_tmr) and self.e_tmr < req.mistake_recurrence_lower * slack:
+            return False
+        if not math.isnan(self.e_tm) and self.e_tm > req.mistake_duration_upper / slack:
+            return False
+        return True
+
+
+def estimate_accuracy(
+    trace: OutputTrace,
+    *,
+    warmup: float = 0.0,
+) -> AccuracyEstimate:
+    """Estimate the accuracy metrics from a failure-free output trace.
+
+    Args:
+        trace: a closed output trace of a failure-free run.
+        warmup: initial time span to drop, so estimates reflect steady
+            state.  (NFD reaches steady state at its first freshness point,
+            so a warmup of ``δ + η`` suffices for it; other detectors may
+            need more.)
+    """
+    if not trace.closed:
+        raise TraceError("trace must be closed before estimation")
+    if warmup < 0:
+        raise InvalidParameterError(f"warmup must be >= 0, got {warmup}")
+
+    horizon_start = trace.start_time + warmup
+    if horizon_start > trace.end_time:
+        raise InvalidParameterError("warmup exceeds the trace duration")
+
+    s_times = trace.s_transition_times
+    s_times = s_times[s_times >= horizon_start]
+    tmr = np.diff(s_times)
+
+    tm_all = _intervals_after(trace.mistake_duration_samples(), trace, horizon_start, kind="M")
+    tg_all = _intervals_after(trace.good_period_samples(), trace, horizon_start, kind="G")
+
+    observation = trace.end_time - horizon_start
+    # P_A over the post-warmup window.
+    p_a = _query_accuracy_after(trace, horizon_start)
+
+    e_tmr = float(tmr.mean()) if tmr.size else math.nan
+    e_tm = float(tm_all.mean()) if tm_all.size else math.nan
+    e_tg = float(tg_all.mean()) if tg_all.size else math.nan
+    rate = s_times.size / observation if observation > 0 else math.nan
+    if tg_all.size >= 2 and tg_all.mean() > 0:
+        e_tfg = relations.forward_good_period_mean(
+            float(tg_all.mean()), float(tg_all.var())
+        )
+    elif tg_all.size and tg_all.mean() == 0:
+        e_tfg = 0.0
+    else:
+        e_tfg = math.nan
+
+    return AccuracyEstimate(
+        e_tmr=e_tmr,
+        e_tm=e_tm,
+        e_tg=e_tg,
+        query_accuracy=p_a,
+        mistake_rate=rate,
+        e_tfg=e_tfg,
+        n_mistakes=int(s_times.size),
+        observation_time=observation,
+        tmr_samples=tmr,
+        tm_samples=tm_all,
+        tg_samples=tg_all,
+    )
+
+
+def _intervals_after(
+    samples: np.ndarray, trace: OutputTrace, horizon_start: float, kind: str
+) -> np.ndarray:
+    """Filter interval samples to those starting at/after ``horizon_start``.
+
+    ``T_M`` intervals start at S-transitions; ``T_G`` intervals start at
+    T-transitions.  We recompute starts from the trace to align samples
+    with their start times.
+    """
+    if kind == "M":
+        starts = trace.s_transition_times
+        # mistake_duration_samples drops a trailing un-closed mistake, so
+        # align lengths from the front.
+        starts = starts[: samples.size]
+    else:
+        starts = trace.t_transition_times
+        starts = starts[: samples.size]
+    mask = starts >= horizon_start
+    return samples[mask]
+
+
+def _query_accuracy_after(trace: OutputTrace, horizon_start: float) -> float:
+    """``P_A`` measured over ``[horizon_start, end]`` only."""
+    if horizon_start <= trace.start_time:
+        return trace.empirical_query_accuracy()
+    end = trace.end_time
+    if end == horizon_start:
+        return 1.0 if trace.output_at(end) == "T" else 0.0
+    # Accumulate trusted time after horizon_start by walking transitions.
+    trusted = 0.0
+    cur = trace.initial_output
+    cur_start = trace.start_time
+    for tr in trace.transitions:
+        seg_start = max(cur_start, horizon_start)
+        seg_end = min(tr.time, end)
+        if cur == "T" and seg_end > seg_start:
+            trusted += seg_end - seg_start
+        cur = tr.kind.new_output
+        cur_start = tr.time
+    seg_start = max(cur_start, horizon_start)
+    if cur == "T" and end > seg_start:
+        trusted += end - seg_start
+    return trusted / (end - horizon_start)
+
+
+def pool_accuracy(estimates: Sequence[AccuracyEstimate]) -> AccuracyEstimate:
+    """Pool the samples of several independent runs into one estimate.
+
+    NFD's mistake-recurrence intervals are i.i.d. (Lemma 17), so samples
+    from independent runs of the same configuration may simply be pooled;
+    time-weighted quantities (``P_A``, ``λ_M``) are combined by total
+    observation time.
+    """
+    if not estimates:
+        raise InvalidParameterError("need at least one estimate to pool")
+    tmr = np.concatenate([e.tmr_samples for e in estimates])
+    tm = np.concatenate([e.tm_samples for e in estimates])
+    tg = np.concatenate([e.tg_samples for e in estimates])
+    total_time = sum(e.observation_time for e in estimates)
+    n_mistakes = sum(e.n_mistakes for e in estimates)
+    trusted = sum(
+        e.query_accuracy * e.observation_time
+        for e in estimates
+        if not math.isnan(e.query_accuracy)
+    )
+    p_a = trusted / total_time if total_time > 0 else math.nan
+    if tg.size >= 2 and tg.mean() > 0:
+        e_tfg = relations.forward_good_period_mean(
+            float(tg.mean()), float(tg.var())
+        )
+    elif tg.size and tg.mean() == 0:
+        e_tfg = 0.0
+    else:
+        e_tfg = math.nan
+    return AccuracyEstimate(
+        e_tmr=float(tmr.mean()) if tmr.size else math.nan,
+        e_tm=float(tm.mean()) if tm.size else math.nan,
+        e_tg=float(tg.mean()) if tg.size else math.nan,
+        query_accuracy=p_a,
+        mistake_rate=n_mistakes / total_time if total_time > 0 else math.nan,
+        e_tfg=e_tfg,
+        n_mistakes=n_mistakes,
+        observation_time=total_time,
+        tmr_samples=tmr,
+        tm_samples=tm,
+        tg_samples=tg,
+    )
+
+
+def detection_times(
+    crash_times: Sequence[float],
+    traces: Sequence[OutputTrace],
+) -> np.ndarray:
+    """Measure ``T_D`` for a collection of crash runs.
+
+    For each run, ``T_D`` is the time from the crash to the *final*
+    S-transition after which the output never changes again (paper,
+    Section 2.2).  If the final output of a trace is not ``S`` the
+    detection never completed within the window and ``inf`` is recorded.
+    If the last S-transition precedes the crash, ``T_D = 0``.
+    """
+    if len(crash_times) != len(traces):
+        raise InvalidParameterError("crash_times and traces length mismatch")
+    out = np.empty(len(traces), dtype=float)
+    for i, (crash, trace) in enumerate(zip(crash_times, traces)):
+        if not trace.closed:
+            raise TraceError("traces must be closed")
+        if trace.current_output != SUSPECT:
+            out[i] = math.inf
+            continue
+        transitions = trace.transitions
+        if not transitions:
+            # Suspected from the start and never trusted: permanent
+            # suspicion predates the crash.
+            out[i] = 0.0
+            continue
+        final = transitions[-1].time
+        out[i] = max(0.0, final - crash)
+    return out

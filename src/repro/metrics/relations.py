@@ -1,0 +1,146 @@
+"""The Theorem 1 identities relating the accuracy metrics.
+
+For any *ergodic* failure detector (Section 2.4):
+
+1. ``T_G = T_MR - T_M`` (by definition of the intervals);
+2. if ``0 < E(T_MR) < ∞`` then ``λ_M = 1/E(T_MR)`` and
+   ``P_A = E(T_G)/E(T_MR)``;
+3. if additionally ``E(T_G) ≠ 0`` then
+
+   * ``Pr(T_FG ≤ x) = ∫₀ˣ Pr(T_G > y) dy / E(T_G)``,
+   * ``E(T_FG^k) = E(T_G^{k+1}) / [(k+1) · E(T_G)]``,
+   * ``E(T_FG) = [1 + V(T_G)/E(T_G)²] · E(T_G) / 2``
+
+   — the "waiting time paradox": the mean *remaining* good period seen by a
+   randomly arriving observer generally exceeds ``E(T_G)/2``.
+
+These functions are pure arithmetic on moments/samples so that they can be
+applied both to analytic values (Theorem 5) and to empirical estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "mistake_rate",
+    "query_accuracy",
+    "good_period_mean",
+    "forward_good_period_mean",
+    "forward_good_period_moment",
+    "forward_good_period_cdf",
+    "DerivedMetrics",
+    "derived_metrics",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def mistake_rate(e_tmr: float) -> float:
+    """``λ_M = 1 / E(T_MR)`` (Theorem 1.2)."""
+    if not e_tmr > 0:
+        raise InvalidParameterError(f"E(T_MR) must be positive, got {e_tmr}")
+    if math.isinf(e_tmr):
+        return 0.0
+    return 1.0 / e_tmr
+
+
+def query_accuracy(e_tmr: float, e_tg: float) -> float:
+    """``P_A = E(T_G) / E(T_MR)`` (Theorem 1.2)."""
+    if not e_tmr > 0:
+        raise InvalidParameterError(f"E(T_MR) must be positive, got {e_tmr}")
+    if e_tg < 0:
+        raise InvalidParameterError(f"E(T_G) must be >= 0, got {e_tg}")
+    if math.isinf(e_tmr):
+        return 1.0
+    return e_tg / e_tmr
+
+
+def good_period_mean(e_tmr: float, e_tm: float) -> float:
+    """``E(T_G) = E(T_MR) - E(T_M)`` (Theorem 1.1, in expectation)."""
+    if e_tm < 0:
+        raise InvalidParameterError(f"E(T_M) must be >= 0, got {e_tm}")
+    if e_tm > e_tmr:
+        raise InvalidParameterError(
+            f"E(T_M)={e_tm} cannot exceed E(T_MR)={e_tmr}"
+        )
+    return e_tmr - e_tm
+
+
+def forward_good_period_mean(e_tg: float, v_tg: float) -> float:
+    """``E(T_FG) = [1 + V(T_G)/E(T_G)²] · E(T_G)/2`` (Theorem 1.3c)."""
+    if e_tg < 0 or v_tg < 0:
+        raise InvalidParameterError("E(T_G) and V(T_G) must be >= 0")
+    if e_tg == 0:
+        return 0.0
+    if v_tg == 0.0:
+        return e_tg / 2.0  # also avoids overflow of e_tg**2 for huge e_tg
+    return (1.0 + v_tg / e_tg**2) * e_tg / 2.0
+
+
+def forward_good_period_moment(k: int, tg_samples: np.ndarray) -> float:
+    """``E(T_FG^k) = E(T_G^{k+1}) / [(k+1)·E(T_G)]`` (Theorem 1.3b).
+
+    Computed from empirical ``T_G`` samples.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    samples = np.asarray(tg_samples, dtype=float)
+    if samples.size == 0:
+        raise InvalidParameterError("need at least one T_G sample")
+    e_tg = float(samples.mean())
+    if e_tg == 0:
+        return 0.0
+    return float((samples ** (k + 1)).mean()) / ((k + 1) * e_tg)
+
+
+def forward_good_period_cdf(x: ArrayLike, tg_samples: np.ndarray) -> ArrayLike:
+    """``Pr(T_FG ≤ x)`` from empirical ``T_G`` samples (Theorem 1.3a).
+
+    ``Pr(T_FG ≤ x) = ∫₀ˣ Pr(T_G > y) dy / E(T_G)``.  For an empirical
+    distribution the integrand is a step function, so the integral is exact:
+    ``∫₀ˣ Pr(T_G > y) dy = E[min(T_G, x)]``.
+    """
+    samples = np.asarray(tg_samples, dtype=float)
+    if samples.size == 0:
+        raise InvalidParameterError("need at least one T_G sample")
+    e_tg = float(samples.mean())
+    xa = np.asarray(x, dtype=float)
+    if e_tg == 0:
+        out = np.ones_like(xa)
+        return float(out) if np.ndim(x) == 0 else out
+    out = np.minimum.outer(xa, samples).mean(axis=-1) / e_tg
+    return float(out) if np.ndim(x) == 0 else out
+
+
+@dataclass(frozen=True)
+class DerivedMetrics:
+    """The four Section 2.3 metrics derived from the primary ones."""
+
+    mistake_rate: float
+    query_accuracy: float
+    e_tg: float
+    e_tfg: float
+
+
+def derived_metrics(
+    e_tmr: float, e_tm: float, v_tg: float = 0.0
+) -> DerivedMetrics:
+    """Derive all four secondary metrics from ``E(T_MR)``, ``E(T_M)``.
+
+    ``v_tg`` (variance of the good period) is needed only for ``E(T_FG)``;
+    pass 0 to get the lower bound ``E(T_G)/2``.
+    """
+    e_tg = good_period_mean(e_tmr, e_tm)
+    return DerivedMetrics(
+        mistake_rate=mistake_rate(e_tmr),
+        query_accuracy=query_accuracy(e_tmr, e_tg),
+        e_tg=e_tg,
+        e_tfg=forward_good_period_mean(e_tg, v_tg),
+    )

@@ -1,0 +1,100 @@
+"""Local-clock models.
+
+The paper distinguishes three clock regimes:
+
+* **synchronized clocks** (Sections 3-5) — NFD-S shifts the *sending* times
+  of heartbeats, which requires p's and q's clocks to agree;
+* **unsynchronized, drift-free clocks** (Section 6) — NFD-U/NFD-E only need
+  clocks that measure *intervals* accurately; an unknown constant skew
+  between p and q is allowed;
+* clock **drift** is assumed negligible (Section 3.1), but a drifting model
+  is provided so tests and ablations can quantify how much drift the
+  detectors actually tolerate.
+
+A :class:`Clock` maps real (simulation) time to local time.  Detectors only
+ever see local time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["Clock", "PerfectClock", "SkewedClock", "DriftingClock"]
+
+
+class Clock(ABC):
+    """Maps real time to this process's local time."""
+
+    @abstractmethod
+    def local_time(self, real_time: float) -> float:
+        """Local clock reading at the given real time."""
+
+    @abstractmethod
+    def real_time(self, local_time: float) -> float:
+        """Inverse mapping: real time at which the clock reads ``local_time``."""
+
+
+class PerfectClock(Clock):
+    """A clock perfectly synchronized with real time (NFD-S's assumption)."""
+
+    def local_time(self, real_time: float) -> float:
+        return real_time
+
+    def real_time(self, local_time: float) -> float:
+        return local_time
+
+
+class SkewedClock(Clock):
+    """A drift-free clock offset from real time by a constant ``skew``.
+
+    This is the Section 6 regime: intervals are exact, absolute readings
+    are off by an unknown constant.  The paper's key observation — that the
+    variance of (arrival local time − send local time) is skew-invariant —
+    is tested against this model.
+    """
+
+    def __init__(self, skew: float) -> None:
+        self._skew = float(skew)
+
+    @property
+    def skew(self) -> float:
+        return self._skew
+
+    def local_time(self, real_time: float) -> float:
+        return real_time + self._skew
+
+    def real_time(self, local_time: float) -> float:
+        return local_time - self._skew
+
+
+class DriftingClock(Clock):
+    """A clock with constant rate error: ``local = skew + (1+drift) * real``.
+
+    The paper argues (Section 3.1) that drift rates around 1e-6 are
+    negligible for failure detection; this model lets tests and ablations
+    verify that claim empirically instead of taking it on faith.
+    """
+
+    def __init__(self, skew: float = 0.0, drift: float = 0.0) -> None:
+        if drift <= -1.0:
+            raise InvalidParameterError(
+                f"drift must be > -1 (clock must move forward), got {drift}"
+            )
+        self._skew = float(skew)
+        self._rate = 1.0 + float(drift)
+
+    @property
+    def skew(self) -> float:
+        return self._skew
+
+    @property
+    def drift(self) -> float:
+        return self._rate - 1.0
+
+    def local_time(self, real_time: float) -> float:
+        return self._skew + self._rate * real_time
+
+    def real_time(self, local_time: float) -> float:
+        return (local_time - self._skew) / self._rate

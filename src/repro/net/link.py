@@ -1,0 +1,162 @@
+"""The lossy, delaying link between the monitored and monitoring process.
+
+Section 3.1 of the paper: the link does not create or duplicate messages but
+may *drop* each message independently with probability ``p_L`` and delays
+each delivered message by an i.i.d. draw from a delay distribution ``D``.
+This "message independence" assumption (footnote 10) is what makes the
+closed-form analysis of Theorem 5 possible, and it is exactly what this
+module implements.
+
+Two interfaces are provided:
+
+* :meth:`LossyLink.transmit` — per-message fate, used by the discrete-event
+  simulator;
+* :meth:`LossyLink.transmit_batch` — vectorized fates for ``n`` messages,
+  used by :mod:`repro.sim.fastsim` (lost messages get delay ``+inf``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.net.delays import DelayDistribution
+
+__all__ = ["MessageRecord", "LinkStats", "LossyLink"]
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """The fate of one message offered to the link.
+
+    Attributes:
+        seq: sequence number of the message (heartbeat index).
+        send_time: time at which the sender handed the message to the link.
+        delay: one-way delay; ``math.inf`` if the message was dropped.
+    """
+
+    seq: int
+    send_time: float
+    delay: float
+
+    @property
+    def lost(self) -> bool:
+        """Whether the link dropped this message."""
+        return math.isinf(self.delay)
+
+    @property
+    def arrival_time(self) -> float:
+        """Receive time at the destination (``inf`` for lost messages)."""
+        return self.send_time + self.delay
+
+
+@dataclass
+class LinkStats:
+    """Running counters kept by a :class:`LossyLink`."""
+
+    offered: int = 0
+    dropped: int = 0
+
+    @property
+    def delivered(self) -> int:
+        return self.offered - self.dropped
+
+    @property
+    def empirical_loss_rate(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return self.dropped / self.offered
+
+
+class LossyLink:
+    """An end-to-end connection with Bernoulli loss and i.i.d. delays.
+
+    Args:
+        delay: the message-delay distribution ``D``.
+        loss_probability: the per-message drop probability ``p_L``.
+        rng: NumPy random generator; pass a seeded generator for
+            reproducible runs.
+
+    The link is *memoryless*: every call draws fresh loss and delay values,
+    independent of all earlier messages, matching the paper's model.
+    """
+
+    def __init__(
+        self,
+        delay: DelayDistribution,
+        loss_probability: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise InvalidParameterError(
+                f"loss_probability must be in [0, 1), got {loss_probability}"
+            )
+        self._delay = delay
+        self._p_l = float(loss_probability)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._stats = LinkStats()
+
+    @property
+    def delay_distribution(self) -> DelayDistribution:
+        return self._delay
+
+    @property
+    def loss_probability(self) -> float:
+        return self._p_l
+
+    @property
+    def stats(self) -> LinkStats:
+        return self._stats
+
+    def set_conditions(
+        self,
+        delay: Optional[DelayDistribution] = None,
+        loss_probability: Optional[float] = None,
+    ) -> None:
+        """Change the link's behaviour mid-run (regime change).
+
+        Messages already in flight keep their original fate; only future
+        :meth:`transmit` calls see the new conditions.  This models the
+        Section 8.1 scenario of a network whose probabilistic behaviour
+        shifts (peak vs. off-peak traffic).
+        """
+        if delay is not None:
+            self._delay = delay
+        if loss_probability is not None:
+            if not 0.0 <= loss_probability < 1.0:
+                raise InvalidParameterError(
+                    f"loss_probability must be in [0, 1), got {loss_probability}"
+                )
+            self._p_l = float(loss_probability)
+
+    def transmit(self, seq: int, send_time: float) -> MessageRecord:
+        """Decide the fate of one message sent at ``send_time``."""
+        self._stats.offered += 1
+        if self._p_l > 0.0 and self._rng.random() < self._p_l:
+            self._stats.dropped += 1
+            return MessageRecord(seq=seq, send_time=send_time, delay=math.inf)
+        delay = float(self._delay.sample(self._rng, 1)[0])
+        return MessageRecord(seq=seq, send_time=send_time, delay=delay)
+
+    def transmit_batch(self, n: int) -> np.ndarray:
+        """Draw the delays of ``n`` consecutive messages at once.
+
+        Returns an array of ``n`` delays where lost messages appear as
+        ``+inf``.  The caller supplies the send times; since losses and
+        delays are i.i.d., fates do not depend on send times.
+        """
+        if n < 0:
+            raise InvalidParameterError(f"n must be >= 0, got {n}")
+        if n == 0:
+            return np.empty(0, dtype=float)
+        delays = self._delay.sample(self._rng, n).astype(float, copy=False)
+        if self._p_l > 0.0:
+            lost = self._rng.random(n) < self._p_l
+            delays = np.where(lost, np.inf, delays)
+            self._stats.dropped += int(lost.sum())
+        self._stats.offered += n
+        return delays

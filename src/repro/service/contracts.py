@@ -1,0 +1,97 @@
+"""Contract-driven process registration.
+
+The paper's architecture sketch (Section 8.1: "This service is intended
+to be shared among many different concurrent applications, each with a
+different set of QoS requirements") implies the service — not the
+caller — should translate a QoS contract into detector parameters.
+This module provides that translation for both clock regimes:
+
+* :func:`detector_for_contract` — known network behaviour, synchronized
+  clocks: the Section 4 procedure → an NFD-S instance;
+* :func:`detector_for_contract_unsync` — unknown behaviour and/or
+  unsynchronized clocks: the Section 6 procedure → an NFD-E instance.
+
+Both return the detector *and* the η the sender must use — the two are
+inseparable: a detector configured for η is wrong at any other rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.configurator import configure_nfds
+from repro.analysis.configurator_nfdu import configure_nfdu
+from repro.core.nfd_e import NFDE
+from repro.core.nfd_s import NFDS
+from repro.metrics.qos import QoSRequirements
+from repro.net.delays import DelayDistribution
+
+__all__ = [
+    "ConfiguredDetector",
+    "detector_for_contract",
+    "detector_for_contract_unsync",
+]
+
+
+@dataclass(frozen=True)
+class ConfiguredDetector:
+    """A detector plus the heartbeat rate it was configured for."""
+
+    detector: object
+    eta: float
+    description: str
+
+
+def detector_for_contract(
+    contract: QoSRequirements,
+    loss_probability: float,
+    delay: DelayDistribution,
+) -> ConfiguredDetector:
+    """NFD-S configured for ``contract`` on a *known* network.
+
+    Raises:
+        QoSUnachievableError: when no failure detector at all can meet
+            the contract in this system (Theorem 7 case 2).
+    """
+    cfg = configure_nfds(contract, loss_probability, delay)
+    return ConfiguredDetector(
+        detector=NFDS(eta=cfg.eta, delta=cfg.delta),
+        eta=cfg.eta,
+        description=(
+            f"NFD-S(eta={cfg.eta:.4g}, delta={cfg.delta:.4g}) for "
+            f"T_D<={contract.detection_time_upper:g}, "
+            f"T_MR>={contract.mistake_recurrence_lower:g}, "
+            f"T_M<={contract.mistake_duration_upper:g}"
+        ),
+    )
+
+
+def detector_for_contract_unsync(
+    relative_detection_bound: float,
+    mistake_recurrence_lower: float,
+    mistake_duration_upper: float,
+    loss_probability: float,
+    var_delay: float,
+    window: int = 32,
+) -> ConfiguredDetector:
+    """NFD-E configured for a *relative* contract (Section 6 regime).
+
+    The detection guarantee is ``T_D ≤ relative_detection_bound + E(D)``
+    — the strongest form achievable with one-way messages and
+    unsynchronized clocks (paper, eq. 6.1).
+    """
+    cfg = configure_nfdu(
+        relative_detection_bound=relative_detection_bound,
+        mistake_recurrence_lower=mistake_recurrence_lower,
+        mistake_duration_upper=mistake_duration_upper,
+        loss_probability=loss_probability,
+        var_delay=var_delay,
+    )
+    return ConfiguredDetector(
+        detector=NFDE(eta=cfg.eta, alpha=cfg.alpha, window=window),
+        eta=cfg.eta,
+        description=(
+            f"NFD-E(eta={cfg.eta:.4g}, alpha={cfg.alpha:.4g}, "
+            f"window={window}) for T_D<={relative_detection_bound:g}+E(D)"
+        ),
+    )

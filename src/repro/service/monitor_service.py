@@ -1,0 +1,295 @@
+"""Monitoring many processes with per-process detectors and links.
+
+:class:`MonitorService` owns, for each monitored process, the full
+two-process pipeline of the paper — heartbeat sender, lossy link,
+detector host — and fans every output transition out to service-level
+listeners as :class:`~repro.service.events.MonitorEvent`.
+
+Per-process isolation matters: each link has its own loss probability
+and delay distribution (a LAN peer and a WAN peer should not share a
+configuration), and each detector can be configured against a different
+QoS contract via the Section 4-6 configurators.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.base import HeartbeatFailureDetector
+from repro.errors import InvalidParameterError, SimulationError
+from repro.metrics.transitions import OutputTrace
+from repro.net.clocks import Clock
+from repro.net.delays import DelayDistribution
+from repro.net.link import LossyLink
+from repro.service.events import MonitorEvent
+from repro.sim.engine import Simulator
+from repro.sim.heartbeat import HeartbeatSender
+from repro.sim.monitor import DetectorHost
+
+__all__ = ["MonitoredProcess", "MonitorService"]
+
+Listener = Callable[[MonitorEvent], None]
+
+
+@dataclass
+class MonitoredProcess:
+    """Everything the service keeps per monitored process."""
+
+    name: str
+    sender: HeartbeatSender
+    host: DetectorHost
+    link: LossyLink
+    incarnation: int = 0
+    crashed: bool = False
+    events: List[MonitorEvent] = field(default_factory=list)
+
+    @property
+    def detector(self) -> HeartbeatFailureDetector:
+        return self.host.detector
+
+    @property
+    def output(self) -> str:
+        return self.detector.output
+
+    @property
+    def trusted(self) -> bool:
+        return self.detector.output == "T"
+
+
+class MonitorService:
+    """A registry of monitored processes sharing one simulator.
+
+    Args:
+        sim: the discrete-event simulator all pipelines run on.
+        seed: base seed; each (process, incarnation) derives its own
+            independent random stream.
+    """
+
+    def __init__(self, sim: Simulator, seed: int = 0) -> None:
+        self._sim = sim
+        self._seed = int(seed)
+        self._processes: Dict[str, MonitoredProcess] = {}
+        self._listeners: List[Listener] = []
+        self._started = False
+
+    @property
+    def sim(self) -> Simulator:
+        return self._sim
+
+    @property
+    def process_names(self) -> tuple:
+        return tuple(sorted(self._processes))
+
+    def process(self, name: str) -> MonitoredProcess:
+        try:
+            return self._processes[name]
+        except KeyError:
+            raise InvalidParameterError(f"unknown process {name!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def add_process(
+        self,
+        name: str,
+        detector: HeartbeatFailureDetector,
+        eta: float,
+        delay: DelayDistribution,
+        loss_probability: float = 0.0,
+        sender_clock: Optional[Clock] = None,
+        monitor_clock: Optional[Clock] = None,
+        incarnation: int = 0,
+    ) -> MonitoredProcess:
+        """Register a process and build its monitoring pipeline.
+
+        If the service has already been started, the new pipeline starts
+        immediately (processes can join a running system).
+        """
+        if name in self._processes:
+            raise InvalidParameterError(
+                f"process {name!r} already monitored; remove it first or "
+                f"re-add under a new incarnation"
+            )
+        # zlib.crc32 is stable across processes (str hash() is salted by
+        # PYTHONHASHSEED and would break run-to-run reproducibility).
+        name_key = zlib.crc32(name.encode("utf-8"))
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self._seed, name_key, incarnation])
+        )
+        link = LossyLink(delay=delay, loss_probability=loss_probability, rng=rng)
+        host = DetectorHost(
+            self._sim, detector, clock=monitor_clock, sender_clock=sender_clock
+        )
+        # A process joining mid-run keeps the paper's global schedule
+        # σ_i = i·η but starts at the first index still in the future.
+        first_seq = max(1, int(self._sim.now // eta) + 1)
+        sender = HeartbeatSender(
+            self._sim,
+            link,
+            eta=eta,
+            deliver=host.deliver,
+            clock=sender_clock,
+            first_seq=first_seq,
+            origin=first_seq * eta,
+        )
+        proc = MonitoredProcess(
+            name=name, sender=sender, host=host, link=link,
+            incarnation=incarnation,
+        )
+        self._processes[name] = proc
+        # Re-route the host's transition recording through the service so
+        # listeners see named events (the trace still records too).
+        detector._listener = self._make_listener(proc, detector._listener)
+        if self._started:
+            host.start()
+            sender.start()
+        return proc
+
+    def _make_listener(self, proc: MonitoredProcess, inner):
+        def listener(local_time: float, output: str) -> None:
+            if inner is not None:
+                inner(local_time, output)
+            if self._processes.get(proc.name) is not proc:
+                # A removed/replaced incarnation's detector may still
+                # fire timers; its transitions must not be attributed to
+                # the current incarnation.
+                return
+            event = MonitorEvent(
+                time=self._sim.now, process=proc.name, output=output
+            )
+            proc.events.append(event)
+            for callback in self._listeners:
+                callback(event)
+
+        return listener
+
+    def add_process_with_contract(
+        self,
+        name: str,
+        contract,
+        delay: DelayDistribution,
+        loss_probability: float = 0.0,
+        sender_clock: Optional[Clock] = None,
+        monitor_clock: Optional[Clock] = None,
+    ) -> MonitoredProcess:
+        """Register a process by *QoS contract* rather than by detector.
+
+        The Section 4 configurator translates the contract plus the
+        link's known behaviour into an NFD-S and the matching heartbeat
+        rate (the two are inseparable).  Raises
+        :class:`~repro.errors.QoSUnachievableError` when the contract is
+        impossible on this link — for *any* failure detector.
+        """
+        from repro.service.contracts import detector_for_contract
+
+        configured = detector_for_contract(contract, loss_probability, delay)
+        return self.add_process(
+            name,
+            configured.detector,
+            eta=configured.eta,
+            delay=delay,
+            loss_probability=loss_probability,
+            sender_clock=sender_clock,
+            monitor_clock=monitor_clock,
+        )
+
+    def restart_process(
+        self,
+        name: str,
+        detector: HeartbeatFailureDetector,
+        eta: float,
+        delay: DelayDistribution,
+        loss_probability: float = 0.0,
+    ) -> MonitoredProcess:
+        """Re-admit a (crashed) process under a new incarnation.
+
+        Footnote 2 of the paper: crashes are permanent — "a process that
+        recovers from a crash assumes a new identity."  The service
+        models that by replacing the old pipeline with a fresh one whose
+        incarnation counter is bumped; higher layers see a leave (if the
+        old incarnation was still trusted) followed by a join.
+        """
+        old = self.process(name)
+        incarnation = old.incarnation + 1
+        self.remove_process(name)
+        return self.add_process(
+            name,
+            detector,
+            eta=eta,
+            delay=delay,
+            loss_probability=loss_probability,
+            incarnation=incarnation,
+        )
+
+    def remove_process(self, name: str) -> None:
+        """Stop tracking a process.
+
+        A final synthetic S event is published so higher layers (e.g.
+        group membership) see the departure; the detector's own pending
+        timers become inert.
+        """
+        proc = self.process(name)
+        proc.sender.stop()  # no further heartbeats from this incarnation
+        event = MonitorEvent(
+            time=self._sim.now, process=name, output="S", administrative=True
+        )
+        proc.events.append(event)
+        for callback in self._listeners:
+            callback(event)
+        del self._processes[name]
+
+    # ------------------------------------------------------------------ #
+    # Operation
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Start all registered pipelines."""
+        if self._started:
+            raise SimulationError("service already started")
+        self._started = True
+        for proc in self._processes.values():
+            proc.host.start()
+            proc.sender.start()
+
+    def subscribe(self, listener: Listener) -> None:
+        """Register a callback for every detector transition."""
+        self._listeners.append(listener)
+
+    def crash(self, name: str, at_time: Optional[float] = None) -> None:
+        """Crash a monitored process now (or at a future real time)."""
+        proc = self.process(name)
+        when = self._sim.now if at_time is None else at_time
+        proc.sender.crash_at(when)
+        proc.crashed = True
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def output(self, name: str) -> str:
+        """Current detector output for one process."""
+        return self.process(name).output
+
+    def trusted_set(self) -> frozenset:
+        """Names of all currently trusted processes."""
+        return frozenset(
+            name for name, p in self._processes.items() if p.trusted
+        )
+
+    def suspected_set(self) -> frozenset:
+        """Names of all currently suspected processes."""
+        return frozenset(
+            name for name, p in self._processes.items() if not p.trusted
+        )
+
+    def finish(self) -> Dict[str, OutputTrace]:
+        """Close and return all output traces."""
+        return {
+            name: proc.host.finish()
+            for name, proc in self._processes.items()
+        }

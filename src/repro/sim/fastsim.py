@@ -1,0 +1,633 @@
+"""Vectorized failure-detector simulators for benchmark-scale statistics.
+
+The paper's Fig. 12 measures ``E(T_MR)`` over 500 mistake-recurrence
+intervals per point.  At ``T_D^U = 3.5`` (η = 1, p_L = 0.01, exponential
+delays with mean 0.02) the analytic ``E(T_MR)`` is ≈ 10⁶ heartbeat
+periods, so one point needs ≈ 5·10⁸ simulated heartbeats — far beyond an
+event-driven loop in Python.  This module exploits structural properties
+of each algorithm to reduce a whole run to a handful of NumPy passes:
+
+**NFD-S** (Proposition 13): within window ``[τ_i, τ_{i+1})`` only
+messages ``m_i … m_{i+k}`` matter, so the entire output trace is a
+function of the *windowed minimum* ``F_i = min(A_i, …, A_{i+k})`` of the
+arrival-time vector (``A_j = j·η + d_j``, ``∞`` for lost messages):
+
+* q trusts during window i from ``max(τ_i, F_i)`` (if ``F_i < τ_{i+1}``);
+* an S-transition occurs at ``τ_i`` iff ``F_{i-1} < τ_i ≤ F_i``
+  (trusting just before ``τ_i``, nothing fresh at ``τ_i``);
+* the mistake starting at ``τ_i`` ends at ``F_m`` for the first
+  ``m ≥ i`` with ``F_m < τ_{m+1}``.
+
+**NFD-U / NFD-E**: the output between consecutive *effective* receipts
+(messages advancing the max sequence number ℓ) is fully determined by the
+receipt time ``t_m`` and the freshness point ``τ_m`` computed at that
+receipt — for NFD-U a constant shift, for NFD-E the eq. (6.3) rolling
+mean over the last n effective receipts.
+
+**SFD** (fixed timeout TO restarted on every accepted receipt, optional
+cutoff c): with identical timeouts, the expiry deadline is a running
+maximum, so suspicion periods are exactly the gaps ``> TO`` in the sorted
+accepted arrival times.
+
+All simulators stream in chunks with O(chunk) memory, carry exact state
+across chunk boundaries (running max ℓ, open mistakes, rolling windows),
+and stop after ``target_mistakes`` S-transitions or ``max_heartbeats``.
+They are cross-validated against the event-driven implementations in
+``tests/sim/test_fastsim_vs_engine.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.net.delays import DelayDistribution
+
+__all__ = [
+    "FastAccuracyResult",
+    "simulate_nfds_fast",
+    "simulate_nfdu_fast",
+    "simulate_nfde_fast",
+    "simulate_sfd_fast",
+]
+
+
+@dataclass
+class FastAccuracyResult:
+    """Accuracy statistics from one vectorized failure-free run.
+
+    ``e_tmr``/``e_tm`` are NaN when no (or not enough) mistakes were
+    observed — which for large ``T_D^U`` is itself the headline result.
+    """
+
+    algorithm: str
+    n_heartbeats: int
+    total_time: float
+    suspect_time: float
+    s_transition_times: np.ndarray
+    mistake_durations: np.ndarray
+    truncated: bool  # hit max_heartbeats before target_mistakes
+
+    @property
+    def n_mistakes(self) -> int:
+        return int(self.s_transition_times.size)
+
+    @property
+    def tmr_samples(self) -> np.ndarray:
+        return np.diff(self.s_transition_times)
+
+    @property
+    def e_tmr(self) -> float:
+        samples = self.tmr_samples
+        return float(samples.mean()) if samples.size else math.nan
+
+    @property
+    def e_tm(self) -> float:
+        if self.mistake_durations.size == 0:
+            return math.nan
+        return float(self.mistake_durations.mean())
+
+    @property
+    def query_accuracy(self) -> float:
+        if self.total_time <= 0:
+            return math.nan
+        return 1.0 - self.suspect_time / self.total_time
+
+    @property
+    def mistake_rate(self) -> float:
+        if self.total_time <= 0:
+            return math.nan
+        return self.n_mistakes / self.total_time
+
+
+def _validate_common(
+    eta: float, loss_probability: float, target_mistakes: int, max_heartbeats: int
+) -> None:
+    if eta <= 0:
+        raise InvalidParameterError(f"eta must be positive, got {eta}")
+    if not 0.0 <= loss_probability < 1.0:
+        raise InvalidParameterError(
+            f"loss_probability must be in [0,1), got {loss_probability}"
+        )
+    if target_mistakes < 1:
+        raise InvalidParameterError(
+            f"target_mistakes must be >= 1, got {target_mistakes}"
+        )
+    if max_heartbeats < 1:
+        raise InvalidParameterError(
+            f"max_heartbeats must be >= 1, got {max_heartbeats}"
+        )
+
+
+def _draw_arrivals(
+    delay: DelayDistribution,
+    loss_probability: float,
+    rng: np.random.Generator,
+    seqs: np.ndarray,
+    eta: float,
+) -> np.ndarray:
+    """Arrival times ``A_j = j·η + d_j`` with ``∞`` for lost messages."""
+    d = delay.sample(rng, seqs.size).astype(float, copy=False)
+    if loss_probability > 0.0:
+        lost = rng.random(seqs.size) < loss_probability
+        d = np.where(lost, np.inf, d)
+    return seqs * eta + d
+
+
+# --------------------------------------------------------------------- #
+# NFD-S
+# --------------------------------------------------------------------- #
+
+
+def simulate_nfds_fast(
+    eta: float,
+    delta: float,
+    loss_probability: float,
+    delay: DelayDistribution,
+    seed: int = 0,
+    target_mistakes: int = 500,
+    max_heartbeats: int = 200_000_000,
+    chunk_size: int = 4_000_000,
+) -> FastAccuracyResult:
+    """Failure-free NFD-S run until ``target_mistakes`` S-transitions.
+
+    Measurement starts at the first freshness point ``τ_1`` (NFD-S is in
+    steady state from there, Section 3.2).
+    """
+    _validate_common(eta, loss_probability, target_mistakes, max_heartbeats)
+    if delta < 0:
+        raise InvalidParameterError(f"delta must be >= 0, got {delta}")
+    rng = np.random.default_rng(seed)
+    k = int(math.ceil(delta / eta - 1e-12))
+
+    s_times: List[np.ndarray] = []
+    durations: List[np.ndarray] = []
+    n_s = 0
+    suspect_time = 0.0
+    windows_done = 0
+
+    # Carries across chunks.
+    carry_arrivals = np.empty(0, dtype=float)  # A for trailing k seqs
+    carry_start_seq = 1  # seq of carry_arrivals[0] (when non-empty)
+    prev_f: Optional[float] = None  # F_{i-1} of the first window this chunk
+    open_mistake_start: Optional[float] = None
+    heartbeats = 0
+    truncated = False
+
+    while n_s < target_mistakes:
+        if heartbeats >= max_heartbeats:
+            truncated = True
+            break
+        draw = int(min(chunk_size, max_heartbeats - heartbeats))
+        # Need at least k+1 arrivals beyond the carry to form one window.
+        draw = max(draw, k + 1)
+        first_new = carry_start_seq + carry_arrivals.size
+        new_seqs = np.arange(first_new, first_new + draw, dtype=float)
+        new_arrivals = _draw_arrivals(
+            delay, loss_probability, rng, new_seqs, eta
+        )
+        heartbeats += draw
+        arrivals = np.concatenate([carry_arrivals, new_arrivals])
+        start_seq = carry_start_seq
+
+        m = arrivals.size - k  # windows computable: i = start_seq .. +m-1
+        if m <= 0:
+            carry_arrivals = arrivals
+            continue
+        f = arrivals[:m].copy()
+        for j in range(1, k + 1):
+            np.minimum(f, arrivals[j : j + m], out=f)
+
+        idx = np.arange(start_seq, start_seq + m, dtype=float)
+        tau = idx * eta + delta
+        tau_next = tau + eta
+
+        # Suspect time per window: from τ_i until trust (capped at τ_{i+1}).
+        suspect_time += float(
+            np.sum(np.clip(np.minimum(f, tau_next) - tau, 0.0, eta))
+        )
+        windows_done += m
+
+        # S-transitions at τ_i: trusted just before (F_{i-1} < τ_i) and no
+        # fresh message at τ_i (F_i > τ_i).
+        f_prev = np.empty(m, dtype=float)
+        f_prev[1:] = f[:-1]
+        if prev_f is None:
+            # Before τ_1 the output is S by initialization, so no
+            # S-transition can occur at τ_1 itself.
+            f_prev[0] = np.inf
+        else:
+            f_prev[0] = prev_f
+        s_mask = (f > tau) & (f_prev < tau)
+        s_local = np.nonzero(s_mask)[0]
+
+        # Trust-resumption windows: F_m < τ_{m+1}.
+        g_local = np.nonzero(f < tau_next)[0]
+
+        # Close a mistake carried from the previous chunk.
+        if open_mistake_start is not None and g_local.size:
+            end = float(f[g_local[0]])
+            durations.append(
+                np.array([end - open_mistake_start], dtype=float)
+            )
+            open_mistake_start = None
+
+        if s_local.size:
+            pos = np.searchsorted(g_local, s_local, side="left")
+            closed = pos < g_local.size
+            closed_idx = s_local[closed]
+            ends = f[g_local[pos[closed]]]
+            durations.append(ends - tau[closed_idx])
+            n_open = int((~closed).sum())
+            if n_open:
+                # Only the *last* S-transition can be unresolved: any
+                # earlier one is followed by a trust window before the
+                # next S-transition, which would have closed it.
+                open_mistake_start = float(tau[s_local[-1]])
+            s_times.append(tau[s_local])
+            n_s += int(s_local.size)
+
+        # Prepare carries for the next chunk.
+        carry_arrivals = arrivals[m:].copy()
+        carry_start_seq = start_seq + m
+        prev_f = float(f[-1])
+
+    all_s = (
+        np.concatenate(s_times) if s_times else np.empty(0, dtype=float)
+    )
+    all_d = (
+        np.concatenate(durations) if durations else np.empty(0, dtype=float)
+    )
+    return FastAccuracyResult(
+        algorithm="nfd-s",
+        n_heartbeats=heartbeats,
+        total_time=windows_done * eta,
+        suspect_time=suspect_time,
+        s_transition_times=all_s,
+        mistake_durations=all_d,
+        truncated=truncated,
+    )
+
+
+# --------------------------------------------------------------------- #
+# NFD-U / NFD-E (shared interval machinery)
+# --------------------------------------------------------------------- #
+
+
+def _simulate_freshness_stream(
+    algorithm: str,
+    eta: float,
+    alpha: float,
+    loss_probability: float,
+    delay: DelayDistribution,
+    seed: int,
+    target_mistakes: int,
+    max_heartbeats: int,
+    chunk_size: int,
+    ea_offset: Optional[float],
+    window: Optional[int],
+) -> FastAccuracyResult:
+    """Common engine for NFD-U (``ea_offset`` known) and NFD-E (rolling).
+
+    Works on the stream of *effective* receipts (sequence-number maxima
+    in arrival order).  For each effective receipt ``(t_m, s_m)`` the
+    next freshness point is
+
+        NFD-U:  ``τ_m = (s_m + 1)·η + ea_offset + α``
+        NFD-E:  ``τ_m = mean(last n normalized receipts) + (s_m+1)·η + α``
+
+    and the output on ``[t_m, t_{m+1})`` is T on ``[t_m, τ_m)`` (when
+    nonempty) and S on ``[max(t_m, τ_m), t_{m+1})``.
+    """
+    _validate_common(eta, loss_probability, target_mistakes, max_heartbeats)
+    rng = np.random.default_rng(seed)
+
+    s_times: List[np.ndarray] = []
+    durations: List[np.ndarray] = []
+    n_s = 0
+    suspect_time = 0.0
+    total_time = 0.0
+
+    heartbeats = 0
+    next_seq = 1
+    ell = 0  # running max sequence number received
+    # Messages received but not yet *mature*: a message arriving after
+    # the chunk's last send time may still be overtaken by arrivals from
+    # the next chunk, so it is buffered until the boundary passes it.
+    pend_seq = np.empty(0, dtype=np.int64)
+    pend_t = np.empty(0, dtype=float)
+    # Rolling normalized-receipt window for NFD-E (most recent last).
+    norm_carry = np.empty(0, dtype=float)
+    # Interval carried across chunks: last effective receipt + its τ.
+    t_prev: Optional[float] = None
+    tau_prev: Optional[float] = None
+    open_mistake_start: Optional[float] = None
+    # Warmup: skip accounting until the NFD-E window has filled once (for
+    # NFD-U a single effective receipt suffices).
+    warm_needed = window if window is not None else 1
+    warm_seen = 0
+    truncated = False
+
+    while n_s < target_mistakes:
+        if heartbeats >= max_heartbeats:
+            truncated = True
+            break
+        draw = int(min(chunk_size, max_heartbeats - heartbeats))
+        seqs = np.arange(next_seq, next_seq + draw, dtype=np.int64)
+        arrivals = _draw_arrivals(
+            delay, loss_probability, rng, seqs.astype(float), eta
+        )
+        next_seq += draw
+        heartbeats += draw
+
+        received = np.isfinite(arrivals)
+        all_seq = np.concatenate([pend_seq, seqs[received]])
+        all_t = np.concatenate([pend_t, arrivals[received]])
+        # Only arrivals at or before this chunk's last send time are
+        # final — later ones may interleave with the next chunk's
+        # messages, so they stay pending.
+        boundary = (next_seq - 1) * eta
+        mature = all_t <= boundary
+        pend_seq = all_seq[~mature]
+        pend_t = all_t[~mature]
+        r_seq = all_seq[mature]
+        r_t = all_t[mature]
+        if r_t.size == 0:
+            continue
+        # Arrival order (delays can reorder messages).
+        order = np.argsort(r_t, kind="stable")
+        r_seq = r_seq[order]
+        r_t = r_t[order]
+        # Effective receipts: sequence number exceeds everything before.
+        cummax = np.maximum.accumulate(r_seq)
+        eff = np.empty(r_seq.size, dtype=bool)
+        eff[0] = r_seq[0] > ell
+        eff[1:] = (r_seq[1:] == cummax[1:]) & (r_seq[1:] > cummax[:-1])
+        if ell > 0:
+            eff &= r_seq > ell
+        e_seq = r_seq[eff]
+        e_t = r_t[eff]
+        if e_seq.size == 0:
+            continue
+        ell = int(e_seq[-1])
+
+        # τ for each effective receipt.
+        if ea_offset is not None:
+            tau = (e_seq + 1) * eta + ea_offset + alpha
+        else:
+            assert window is not None
+            norm = e_t - eta * e_seq.astype(float)
+            full = np.concatenate([norm_carry, norm])
+            csum = np.concatenate([[0.0], np.cumsum(full)])
+            q = np.arange(norm_carry.size, full.size)
+            w = np.minimum(window, q + 1)
+            means = (csum[q + 1] - csum[q + 1 - w]) / w
+            tau = means + (e_seq + 1) * eta + alpha
+            keep = min(window, full.size)
+            norm_carry = full[full.size - keep :]
+
+        # Warmup: the first `warm_needed` effective receipts feed the
+        # estimator but are excluded from accounting (steady-state guard).
+        if warm_seen < warm_needed:
+            take = min(warm_needed - warm_seen, int(e_t.size))
+            warm_seen += take
+            e_t = e_t[take:]
+            tau = tau[take:]
+            # Measurement (re)starts at the first retained receipt; any
+            # pre-warm carry interval must not count.
+            t_prev = None
+            tau_prev = None
+            if e_t.size == 0:
+                continue
+
+        # Build the interval stream: carry + this chunk's receipts.
+        if t_prev is not None:
+            ts = np.concatenate([[t_prev], e_t])
+            taus = np.concatenate([[tau_prev], tau])
+        else:
+            ts = e_t
+            taus = tau
+        if ts.size < 2:
+            t_prev = float(ts[-1])
+            tau_prev = float(taus[-1])
+            continue
+
+        # Intervals [ts[m], ts[m+1]) with freshness point taus[m].
+        t0 = ts[:-1]
+        t1 = ts[1:]
+        tq = taus[:-1]
+        total_time += float(t1[-1] - t0[0])
+        trust_at = tq > t0
+        # Suspect time per interval.
+        sus = np.where(
+            trust_at, np.clip(t1 - np.maximum(tq, t0), 0.0, None), t1 - t0
+        )
+        suspect_time += float(np.sum(sus))
+
+        # S-transitions: τ falls strictly inside a trusted interval.
+        s_mask = trust_at & (tq < t1)
+        s_local = np.nonzero(s_mask)[0]
+        # Trust resumptions: interval m starts trusting.
+        g_local = np.nonzero(trust_at)[0]
+
+        if open_mistake_start is not None and g_local.size:
+            end = float(t0[g_local[0]])
+            durations.append(np.array([end - open_mistake_start]))
+            open_mistake_start = None
+
+        if s_local.size:
+            # A mistake starting at τ_m (inside interval m) ends at the
+            # first interval start m' > m with trust_at[m'].
+            pos = np.searchsorted(g_local, s_local, side="right")
+            closed = pos < g_local.size
+            closed_idx = s_local[closed]
+            ends = t0[g_local[pos[closed]]]
+            durations.append(ends - tq[closed_idx])
+            if (~closed).any():
+                open_mistake_start = float(tq[s_local[-1]])
+            s_times.append(tq[s_local])
+            n_s += int(s_local.size)
+
+        # Check the trailing partial interval [t_last, ?) next chunk; if
+        # its τ already passed it will be suspect — handled next round.
+        t_prev = float(ts[-1])
+        tau_prev = float(taus[-1])
+        # If currently suspect with a pending S-transition in the trailing
+        # open interval, it will be detected when the interval closes.
+
+    all_s = np.concatenate(s_times) if s_times else np.empty(0, dtype=float)
+    all_d = (
+        np.concatenate(durations) if durations else np.empty(0, dtype=float)
+    )
+    return FastAccuracyResult(
+        algorithm=algorithm,
+        n_heartbeats=heartbeats,
+        total_time=total_time,
+        suspect_time=suspect_time,
+        s_transition_times=all_s,
+        mistake_durations=all_d,
+        truncated=truncated,
+    )
+
+
+def simulate_nfdu_fast(
+    eta: float,
+    alpha: float,
+    loss_probability: float,
+    delay: DelayDistribution,
+    ea_offset: Optional[float] = None,
+    seed: int = 0,
+    target_mistakes: int = 500,
+    max_heartbeats: int = 200_000_000,
+    chunk_size: int = 4_000_000,
+) -> FastAccuracyResult:
+    """Failure-free NFD-U run (expected arrival times *known*).
+
+    ``ea_offset`` is the constant by which expected arrivals trail the
+    nominal send times — ``E(D)`` plus any clock skew; defaults to the
+    delay distribution's mean (perfectly known EA, as the paper assumes).
+    """
+    offset = delay.mean if ea_offset is None else float(ea_offset)
+    return _simulate_freshness_stream(
+        algorithm="nfd-u",
+        eta=eta,
+        alpha=alpha,
+        loss_probability=loss_probability,
+        delay=delay,
+        seed=seed,
+        target_mistakes=target_mistakes,
+        max_heartbeats=max_heartbeats,
+        chunk_size=chunk_size,
+        ea_offset=offset,
+        window=None,
+    )
+
+
+def simulate_nfde_fast(
+    eta: float,
+    alpha: float,
+    loss_probability: float,
+    delay: DelayDistribution,
+    window: int = 32,
+    seed: int = 0,
+    target_mistakes: int = 500,
+    max_heartbeats: int = 200_000_000,
+    chunk_size: int = 4_000_000,
+) -> FastAccuracyResult:
+    """Failure-free NFD-E run (expected arrival times *estimated*,
+    eq. 6.3, over the ``window`` most recent heartbeats)."""
+    if window < 1:
+        raise InvalidParameterError(f"window must be >= 1, got {window}")
+    return _simulate_freshness_stream(
+        algorithm="nfd-e",
+        eta=eta,
+        alpha=alpha,
+        loss_probability=loss_probability,
+        delay=delay,
+        seed=seed,
+        target_mistakes=target_mistakes,
+        max_heartbeats=max_heartbeats,
+        chunk_size=chunk_size,
+        ea_offset=None,
+        window=int(window),
+    )
+
+
+# --------------------------------------------------------------------- #
+# SFD (the common algorithm)
+# --------------------------------------------------------------------- #
+
+
+def simulate_sfd_fast(
+    eta: float,
+    timeout: float,
+    loss_probability: float,
+    delay: DelayDistribution,
+    cutoff: Optional[float] = None,
+    seed: int = 0,
+    target_mistakes: int = 500,
+    max_heartbeats: int = 200_000_000,
+    chunk_size: int = 4_000_000,
+) -> FastAccuracyResult:
+    """Failure-free run of the common algorithm (optional cutoff).
+
+    Suspicion periods are the gaps ``> TO`` between consecutive *accepted*
+    receipts (sorted by arrival time): the S-transition fires at
+    ``B_t + TO`` and the next accepted receipt at ``B_{t+1}`` retracts it,
+    so ``T_M = B_{t+1} − B_t − TO`` exactly.
+    """
+    _validate_common(eta, loss_probability, target_mistakes, max_heartbeats)
+    if timeout <= 0:
+        raise InvalidParameterError(f"timeout must be positive, got {timeout}")
+    if cutoff is not None and cutoff <= 0:
+        raise InvalidParameterError(f"cutoff must be positive, got {cutoff}")
+    rng = np.random.default_rng(seed)
+
+    s_times: List[np.ndarray] = []
+    durations: List[np.ndarray] = []
+    n_s = 0
+    suspect_time = 0.0
+    total_time = 0.0
+    heartbeats = 0
+    next_seq = 1
+    last_accept: Optional[float] = None
+    # Arrivals past the chunk's last send time may be overtaken by the
+    # next chunk's messages; buffer them until mature.
+    pend = np.empty(0, dtype=float)
+    truncated = False
+
+    while n_s < target_mistakes:
+        if heartbeats >= max_heartbeats:
+            truncated = True
+            break
+        draw = int(min(chunk_size, max_heartbeats - heartbeats))
+        seqs = np.arange(next_seq, next_seq + draw, dtype=float)
+        d = delay.sample(rng, draw).astype(float, copy=False)
+        if loss_probability > 0.0:
+            lost = rng.random(draw) < loss_probability
+            d = np.where(lost, np.inf, d)
+        if cutoff is not None:
+            d = np.where(d > cutoff, np.inf, d)
+        arrivals = seqs * eta + d
+        next_seq += draw
+        heartbeats += draw
+
+        pend = np.concatenate([pend, arrivals[np.isfinite(arrivals)]])
+        boundary = (next_seq - 1) * eta
+        mature = pend <= boundary
+        b = np.sort(pend[mature])
+        pend = pend[~mature]
+        if b.size == 0:
+            continue
+        if last_accept is not None:
+            b = np.concatenate([[last_accept], b])
+        if b.size >= 2:
+            gaps = np.diff(b)
+            total_time += float(b[-1] - b[0])
+            over = gaps > timeout
+            excess = gaps[over] - timeout
+            suspect_time += float(np.sum(excess))
+            starts = b[:-1][over] + timeout
+            if starts.size:
+                s_times.append(starts)
+                durations.append(excess)
+                n_s += int(starts.size)
+        last_accept = float(b[-1])
+
+    all_s = np.concatenate(s_times) if s_times else np.empty(0, dtype=float)
+    all_d = (
+        np.concatenate(durations) if durations else np.empty(0, dtype=float)
+    )
+    return FastAccuracyResult(
+        algorithm="sfd" if cutoff is None else "sfd-cutoff",
+        n_heartbeats=heartbeats,
+        total_time=total_time,
+        suspect_time=suspect_time,
+        s_transition_times=all_s,
+        mistake_durations=all_d,
+        truncated=truncated,
+    )

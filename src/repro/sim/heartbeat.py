@@ -1,0 +1,146 @@
+"""The monitored process *p*: periodic heartbeats and crash injection.
+
+p sends heartbeat ``m_i`` at *its local* time ``σ_i = i·η`` (i = 1, 2, …),
+per Fig. 6/Fig. 9 line 1.  If a crash time is set, no message whose send
+time is at or after the crash is sent — and, per Section 3.1, the fates of
+messages already in flight are unaffected by the crash.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.errors import InvalidParameterError
+from repro.net.clocks import Clock, PerfectClock
+from repro.net.link import LossyLink
+from repro.sim.engine import Simulator
+
+__all__ = ["HeartbeatSender"]
+
+
+class HeartbeatSender:
+    """Periodic heartbeat sender with optional crash.
+
+    Args:
+        sim: the discrete-event simulator.
+        link: the lossy link toward q.
+        eta: inter-sending time η in p's local clock.
+        deliver: callback invoked at the message's *arrival* (real) time as
+            ``deliver(seq, send_local_time)``; not invoked for lost
+            messages.
+        clock: p's local clock (defaults to a perfect clock).
+        crash_time: real time at which p crashes, or None.
+        first_seq: sequence number of the first heartbeat (1 in the paper).
+        origin: p-local time of the *first* send (``σ_{first_seq}``);
+            defaults to ``first_seq · η`` so that ``σ_i = i·η`` as in the
+            paper.  A later origin supports epoch restarts — e.g. the
+            adaptive experiments stop one sender and start another at a
+            new rate, continuing the sequence numbering.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: LossyLink,
+        eta: float,
+        deliver: Callable[[int, float], None],
+        clock: Optional[Clock] = None,
+        crash_time: Optional[float] = None,
+        first_seq: int = 1,
+        origin: Optional[float] = None,
+    ) -> None:
+        if eta <= 0:
+            raise InvalidParameterError(f"eta must be positive, got {eta}")
+        if first_seq < 1:
+            raise InvalidParameterError(f"first_seq must be >= 1, got {first_seq}")
+        self._sim = sim
+        self._link = link
+        self._eta = float(eta)
+        self._deliver = deliver
+        self._clock = clock if clock is not None else PerfectClock()
+        self._crash_time = math.inf if crash_time is None else float(crash_time)
+        self._first_seq = int(first_seq)
+        self._origin = (
+            first_seq * float(eta) if origin is None else float(origin)
+        )
+        self._next_seq = int(first_seq)
+        self._sent = 0
+        self._started = False
+
+    @property
+    def eta(self) -> float:
+        return self._eta
+
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    @property
+    def crash_time(self) -> float:
+        """Real crash time (``inf`` if p never crashes)."""
+        return self._crash_time
+
+    @property
+    def sent_count(self) -> int:
+        return self._sent
+
+    def start(self) -> None:
+        """Arm the first heartbeat send."""
+        if self._started:
+            raise InvalidParameterError("sender already started")
+        self._started = True
+        self._arm_next()
+
+    def send_local_time(self, seq: int) -> float:
+        """``σ_seq = origin + (seq − first_seq)·η`` in p's local clock.
+
+        With the default origin this is the paper's ``σ_i = i·η``.
+        """
+        return self._origin + (seq - self._first_seq) * self._eta
+
+    def stop(self) -> None:
+        """Stop sending (epoch end); pending in-flight messages still arrive."""
+        self._crash_time = min(self._crash_time, self._sim.now)
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next heartbeat would carry."""
+        return self._next_seq
+
+    def _arm_next(self) -> None:
+        # Skip send slots that are already in the past (a sender started
+        # mid-schedule begins at its first future slot).
+        while True:
+            seq = self._next_seq
+            real_send = self._clock.real_time(self.send_local_time(seq))
+            if real_send >= self._sim.now:
+                break
+            self._next_seq += 1
+        if real_send >= self._crash_time:
+            return  # p has crashed; no further heartbeats
+        self._sim.schedule_at(real_send, self._send)
+
+    def _send(self) -> None:
+        if self._sim.now >= self._crash_time:
+            return  # crash/stop moved earlier after this send was armed
+        seq = self._next_seq
+        self._next_seq += 1
+        send_local = self.send_local_time(seq)
+        real_send = self._sim.now
+        self._sent += 1
+        record = self._link.transmit(seq, real_send)
+        if not record.lost:
+            self._sim.schedule_at(
+                record.arrival_time,
+                lambda s=seq, t=send_local: self._deliver(s, t),
+            )
+        self._arm_next()
+
+    def crash_at(self, real_time: float) -> None:
+        """Inject a crash at the given real time (must be in the future)."""
+        if real_time < self._sim.now:
+            raise InvalidParameterError(
+                f"crash time {real_time} is in the past (now={self._sim.now})"
+            )
+        self._crash_time = float(real_time)

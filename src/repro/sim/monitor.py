@@ -1,0 +1,103 @@
+"""The monitoring process *q*: hosts a detector and records its output.
+
+:class:`DetectorHost` adapts the simulator to the
+:class:`~repro.core.base.DetectorRuntime` protocol *in q's local clock*
+and records every output transition into an
+:class:`~repro.metrics.transitions.OutputTrace` *in real time* — QoS
+metrics are defined over real time regardless of how skewed q's clock is.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import Heartbeat, HeartbeatFailureDetector
+from repro.metrics.transitions import OutputTrace
+from repro.net.clocks import Clock, PerfectClock
+from repro.sim.engine import EventHandle, Simulator
+
+__all__ = ["DetectorHost"]
+
+
+class DetectorHost:
+    """Runs a failure detector inside the simulation.
+
+    Args:
+        sim: the discrete-event simulator.
+        detector: an unbound detector instance.
+        clock: q's local clock (defaults to perfect).
+        sender_clock: p's local clock, used to translate the real send
+            time into the message timestamp p would have written.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        detector: HeartbeatFailureDetector,
+        clock: Optional[Clock] = None,
+        sender_clock: Optional[Clock] = None,
+    ) -> None:
+        self._sim = sim
+        self._detector = detector
+        self._clock = clock if clock is not None else PerfectClock()
+        self._sender_clock = (
+            sender_clock if sender_clock is not None else PerfectClock()
+        )
+        self._trace = OutputTrace(
+            start_time=sim.now, initial_output=detector.output
+        )
+        self._delivered = 0
+        detector.bind(self, self._on_transition)
+
+    # ------------------------------------------------------------------ #
+    # DetectorRuntime protocol (local time)
+    # ------------------------------------------------------------------ #
+
+    def local_now(self) -> float:
+        return self._clock.local_time(self._sim.now)
+
+    def call_at(self, local_time: float, callback) -> EventHandle:
+        real = self._clock.real_time(local_time)
+        # A timer in the past fires as soon as possible — the behaviour
+        # of any real event loop.  This is what lets a detector started
+        # mid-stream (late join) catch up through its overdue freshness
+        # points instead of crashing.
+        return self._sim.schedule_at(max(real, self._sim.now), callback)
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+
+    @property
+    def detector(self) -> HeartbeatFailureDetector:
+        return self._detector
+
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    @property
+    def delivered_count(self) -> int:
+        return self._delivered
+
+    def start(self) -> None:
+        self._detector.start()
+
+    def deliver(self, seq: int, send_local_time: float) -> None:
+        """Called by the sender machinery at the message's arrival time."""
+        self._delivered += 1
+        heartbeat = Heartbeat(
+            seq=seq,
+            send_local_time=send_local_time,
+            receive_local_time=self.local_now(),
+        )
+        self._detector.on_heartbeat(heartbeat)
+
+    def _on_transition(self, local_time: float, output: str) -> None:
+        # The listener fires synchronously inside an event, so the real
+        # time of the transition is simply the simulator's current time.
+        self._trace.record(self._sim.now, output)
+
+    def finish(self) -> OutputTrace:
+        """Close and return the output trace at the current time."""
+        return self._trace.close(self._sim.now)

@@ -1,0 +1,103 @@
+"""Run provenance records.
+
+A QoS number without its provenance (detector, parameters, network
+model, seed, scale) is unreproducible.  :class:`RunRecord` bundles all
+of it with the results in one JSON-serializable document, so every
+number in a report can be traced to — and regenerated from — the exact
+run that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import InvalidParameterError
+from repro.metrics.io import accuracy_from_dict, accuracy_to_dict
+from repro.metrics.qos import AccuracyEstimate
+
+__all__ = ["RunRecord"]
+
+_FORMAT = "repro.run/1"
+
+
+@dataclass
+class RunRecord:
+    """Provenance + results of one simulation run or experiment point.
+
+    Attributes:
+        experiment: experiment identifier (e.g. "fig12", "adhoc").
+        detector: the detector's ``describe()`` string.
+        network: network-model parameters (delay family, moments, loss).
+        parameters: run parameters (η, horizon, seeds, scale caps…).
+        accuracy: the estimated accuracy metrics, if measured.
+        extras: anything else worth pinning (detection times, notes).
+    """
+
+    experiment: str
+    detector: str
+    network: Dict[str, Any]
+    parameters: Dict[str, Any]
+    accuracy: Optional[AccuracyEstimate] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+    library_version: str = ""
+    python_version: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.library_version:
+            from repro import __version__
+
+            self.library_version = __version__
+        if not self.python_version:
+            self.python_version = platform.python_version()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": _FORMAT,
+            "experiment": self.experiment,
+            "detector": self.detector,
+            "network": dict(self.network),
+            "parameters": dict(self.parameters),
+            "accuracy": (
+                accuracy_to_dict(self.accuracy)
+                if self.accuracy is not None
+                else None
+            ),
+            "extras": dict(self.extras),
+            "library_version": self.library_version,
+            "python_version": self.python_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunRecord":
+        if data.get("format") != _FORMAT:
+            raise InvalidParameterError(
+                f"not a run record (format={data.get('format')!r})"
+            )
+        accuracy = (
+            accuracy_from_dict(data["accuracy"])
+            if data.get("accuracy") is not None
+            else None
+        )
+        return cls(
+            experiment=data["experiment"],
+            detector=data["detector"],
+            network=dict(data["network"]),
+            parameters=dict(data["parameters"]),
+            accuracy=accuracy,
+            extras=dict(data.get("extras", {})),
+            library_version=data.get("library_version", ""),
+            python_version=data.get("python_version", ""),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunRecord":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,224 @@
+"""End-to-end experiment wiring on the discrete-event simulator.
+
+Two run shapes cover the paper's evaluation:
+
+* **failure-free runs** (:func:`run_failure_free`) — p never crashes;
+  these produce the accuracy metrics (``T_MR``, ``T_M``, ``T_G``, ``P_A``,
+  ``λ_M``, ``T_FG``), which the paper defines over failure-free runs;
+* **crash runs** (:func:`run_crash_runs`) — p crashes at a (randomized)
+  time; these measure the detection time ``T_D``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.base import HeartbeatFailureDetector
+from repro.errors import InvalidParameterError
+from repro.metrics.qos import AccuracyEstimate, estimate_accuracy
+from repro.metrics.transitions import SUSPECT, OutputTrace
+from repro.net.clocks import Clock, PerfectClock
+from repro.net.delays import DelayDistribution
+from repro.net.link import LossyLink
+from repro.sim.engine import Simulator
+from repro.sim.heartbeat import HeartbeatSender
+from repro.sim.monitor import DetectorHost
+
+__all__ = [
+    "SimulationConfig",
+    "FailureFreeResult",
+    "CrashRunResult",
+    "run_failure_free",
+    "run_crash_runs",
+]
+
+DetectorFactory = Callable[[], HeartbeatFailureDetector]
+
+
+@dataclass
+class SimulationConfig:
+    """Parameters shared by all runs of an experiment.
+
+    Attributes:
+        eta: heartbeat inter-sending time η.
+        delay: message-delay distribution D.
+        loss_probability: message loss probability p_L.
+        horizon: real-time length of each run.
+        warmup: initial span excluded from accuracy estimates (steady-state
+            guard; NFD needs only ``δ + η``).
+        seed: base RNG seed; every run derives an independent stream.
+        sender_clock / monitor_clock: local clock models for p and q.
+    """
+
+    eta: float
+    delay: DelayDistribution
+    loss_probability: float = 0.0
+    horizon: float = 1000.0
+    warmup: float = 0.0
+    seed: int = 0
+    sender_clock: Optional[Clock] = None
+    monitor_clock: Optional[Clock] = None
+
+    def __post_init__(self) -> None:
+        if self.eta <= 0:
+            raise InvalidParameterError(f"eta must be positive, got {self.eta}")
+        if self.horizon <= 0:
+            raise InvalidParameterError(
+                f"horizon must be positive, got {self.horizon}"
+            )
+        if self.warmup < 0 or self.warmup >= self.horizon:
+            raise InvalidParameterError(
+                f"warmup must be in [0, horizon), got {self.warmup}"
+            )
+
+
+@dataclass
+class FailureFreeResult:
+    """Outcome of one failure-free (accuracy) run."""
+
+    trace: OutputTrace
+    accuracy: AccuracyEstimate
+    heartbeats_sent: int
+    heartbeats_delivered: int
+
+    @property
+    def empirical_loss_rate(self) -> float:
+        if self.heartbeats_sent == 0:
+            return 0.0
+        return 1.0 - self.heartbeats_delivered / self.heartbeats_sent
+
+
+@dataclass
+class CrashRunResult:
+    """Outcome of a batch of crash (detection-time) runs."""
+
+    detection_times: np.ndarray
+    crash_times: np.ndarray
+    traces: list = field(repr=False, default_factory=list)
+
+    @property
+    def max_detection_time(self) -> float:
+        return float(np.max(self.detection_times))
+
+    @property
+    def mean_detection_time(self) -> float:
+        return float(np.mean(self.detection_times))
+
+
+def _build(
+    config: SimulationConfig,
+    detector: HeartbeatFailureDetector,
+    rng: np.random.Generator,
+    crash_time: Optional[float],
+):
+    sim = Simulator()
+    link = LossyLink(
+        delay=config.delay,
+        loss_probability=config.loss_probability,
+        rng=rng,
+    )
+    host = DetectorHost(
+        sim,
+        detector,
+        clock=config.monitor_clock,
+        sender_clock=config.sender_clock,
+    )
+    sender = HeartbeatSender(
+        sim,
+        link,
+        eta=config.eta,
+        deliver=host.deliver,
+        clock=config.sender_clock,
+        crash_time=crash_time,
+    )
+    return sim, host, sender
+
+
+def run_failure_free(
+    detector_factory: DetectorFactory,
+    config: SimulationConfig,
+    run_index: int = 0,
+) -> FailureFreeResult:
+    """Run one failure-free simulation and estimate the accuracy metrics."""
+    rng = np.random.default_rng(np.random.SeedSequence([config.seed, run_index]))
+    detector = detector_factory()
+    sim, host, sender = _build(config, detector, rng, crash_time=None)
+    host.start()
+    sender.start()
+    sim.run_until(config.horizon)
+    trace = host.finish()
+    accuracy = estimate_accuracy(trace, warmup=config.warmup)
+    return FailureFreeResult(
+        trace=trace,
+        accuracy=accuracy,
+        heartbeats_sent=sender.sent_count,
+        heartbeats_delivered=host.delivered_count,
+    )
+
+
+def run_crash_runs(
+    detector_factory: DetectorFactory,
+    config: SimulationConfig,
+    n_runs: int,
+    crash_window: Optional[tuple] = None,
+    settle_time: Optional[float] = None,
+    keep_traces: bool = False,
+) -> CrashRunResult:
+    """Run ``n_runs`` crash simulations and measure detection times.
+
+    Args:
+        crash_window: real-time interval from which each run's crash time
+            is drawn uniformly; defaults to
+            ``[horizon/2, horizon/2 + eta]`` so the crash phase relative
+            to the heartbeat period is uniform (the worst case for the
+            detection bound is a crash just after a send).
+        settle_time: extra time simulated past the crash so the detector's
+            output can become permanently ``S``; defaults to
+            4·(detection bound guess) = ``4 · horizon`` is wasteful, so we
+            default to ``horizon`` after the crash window.
+        keep_traces: keep the full per-run traces (memory-heavy).
+
+    ``T_D`` per run is the time from the crash to the final S-transition,
+    ``inf`` if the detector still trusts p at the end of the run.
+    """
+    if n_runs < 1:
+        raise InvalidParameterError(f"n_runs must be >= 1, got {n_runs}")
+    if crash_window is None:
+        base = config.horizon / 2.0
+        crash_window = (base, base + config.eta)
+    lo, hi = crash_window
+    if not (0 < lo <= hi):
+        raise InvalidParameterError(f"bad crash window {crash_window}")
+    settle = settle_time if settle_time is not None else config.horizon
+    rng_crash = np.random.default_rng(
+        np.random.SeedSequence([config.seed, 0xC4A54])
+    )
+    crash_times = rng_crash.uniform(lo, hi, size=n_runs)
+
+    detections = np.empty(n_runs, dtype=float)
+    traces = []
+    for i in range(n_runs):
+        rng = np.random.default_rng(np.random.SeedSequence([config.seed, i + 1]))
+        detector = detector_factory()
+        sim, host, sender = _build(
+            config, detector, rng, crash_time=float(crash_times[i])
+        )
+        host.start()
+        sender.start()
+        sim.run_until(crash_times[i] + settle)
+        trace = host.finish()
+        if keep_traces:
+            traces.append(trace)
+        if trace.current_output != SUSPECT:
+            detections[i] = math.inf
+        else:
+            transitions = trace.transitions
+            final = transitions[-1].time if transitions else trace.start_time
+            detections[i] = max(0.0, final - crash_times[i])
+    return CrashRunResult(
+        detection_times=detections, crash_times=crash_times, traces=traces
+    )

@@ -1,0 +1,131 @@
+"""Tests for the one-sided inequality and Theorems 9/11."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.chebyshev import (
+    nfds_accuracy_bounds,
+    nfdu_accuracy_bounds,
+    one_sided_tail_bound,
+)
+from repro.analysis.nfds_theory import NFDSAnalysis
+from repro.errors import InvalidParameterError
+from repro.net.delays import (
+    ExponentialDelay,
+    GammaDelay,
+    LogNormalDelay,
+    ParetoDelay,
+    UniformDelay,
+)
+
+FAMILIES = [
+    ExponentialDelay(0.2),
+    UniformDelay(0.05, 0.4),
+    GammaDelay(2.0, 0.1),
+    LogNormalDelay(-2.0, 0.7),
+    ParetoDelay(3.5, 0.1),
+]
+
+
+class TestOneSidedInequality:
+    @pytest.mark.parametrize("dist", FAMILIES, ids=lambda d: type(d).__name__)
+    def test_bound_dominates_true_tail(self, dist):
+        """P(D > t) ≤ V/(V + (t−E)²) for every t > E(D), any family."""
+        for mult in (1.1, 1.5, 2.0, 5.0, 20.0):
+            t = dist.mean * mult
+            if t <= dist.mean:
+                continue
+            bound = one_sided_tail_bound(t, dist.mean, dist.variance)
+            assert float(dist.sf(t)) <= bound + 1e-12
+
+    def test_trivial_below_mean(self):
+        assert one_sided_tail_bound(0.1, 0.5, 0.01) == 1.0
+        assert one_sided_tail_bound(0.5, 0.5, 0.01) == 1.0
+
+    def test_bound_is_tight_for_two_point_distribution(self):
+        """Cantelli is achieved by a two-point law: check near-equality."""
+        # X = 0 w.p. 1-p, X = 1 w.p. p: mean p, var p(1-p).
+        p = 0.2
+        mean, var = p, p * (1 - p)
+        t = 1.0 - 1e-9  # just below the atom at 1: P(X > t) = p
+        assert one_sided_tail_bound(t, mean, var) == pytest.approx(
+            p, rel=1e-6
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            one_sided_tail_bound(1.0, 0.0, -0.1)
+
+
+class TestTheorem9:
+    @pytest.mark.parametrize("dist", FAMILIES, ids=lambda d: type(d).__name__)
+    @pytest.mark.parametrize("p_l", [0.0, 0.01, 0.2])
+    def test_bounds_dominate_exact_values(self, dist, p_l):
+        """η/β ≤ exact E(T_MR) and η/γ ≥ exact E(T_M) whenever
+        δ > E(D) — for every distribution and loss rate."""
+        eta = 1.0
+        for delta in (dist.mean + 0.2, dist.mean + 1.0, dist.mean + 2.4):
+            bounds = nfds_accuracy_bounds(
+                eta, delta, p_l, dist.mean, dist.variance
+            )
+            exact = NFDSAnalysis(eta, delta, p_l, dist)
+            assert bounds.e_tmr_lower <= exact.e_tmr() * (1 + 1e-9)
+            assert bounds.e_tm_upper >= exact.e_tm() * (1 - 1e-9)
+
+    def test_requires_delta_above_mean(self):
+        with pytest.raises(InvalidParameterError):
+            nfds_accuracy_bounds(1.0, 0.1, 0.0, 0.2, 0.01)
+
+    def test_deterministic_lossless_network(self):
+        """V = 0, p_L = 0: β = 0, i.e. mistakes never recur."""
+        b = nfds_accuracy_bounds(1.0, 1.0, 0.0, 0.1, 0.0)
+        assert math.isinf(b.e_tmr_lower)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            nfds_accuracy_bounds(0.0, 1.0, 0.0, 0.1, 0.01)
+        with pytest.raises(InvalidParameterError):
+            nfds_accuracy_bounds(1.0, 1.0, 1.0, 0.1, 0.01)
+        with pytest.raises(InvalidParameterError):
+            nfds_accuracy_bounds(1.0, 1.0, 0.0, 0.1, -0.01)
+
+
+class TestTheorem11:
+    def test_equals_theorem9_with_shift_alpha(self):
+        """Theorem 11 = Theorem 9 with δ − E(D) replaced by α."""
+        b11 = nfdu_accuracy_bounds(1.0, 0.7, 0.05, 0.04)
+        b9 = nfds_accuracy_bounds(1.0, 0.7 + 0.3, 0.05, 0.3, 0.04)
+        assert b11.beta == pytest.approx(b9.beta)
+        assert b11.gamma == pytest.approx(b9.gamma)
+
+    def test_does_not_need_mean(self):
+        """Two systems with different E(D) but equal V(D) get identical
+        Theorem 11 bounds — E(D) genuinely drops out."""
+        assert nfdu_accuracy_bounds(1.0, 0.7, 0.05, 0.04) == (
+            nfdu_accuracy_bounds(1.0, 0.7, 0.05, 0.04)
+        )
+
+    def test_requires_positive_alpha(self):
+        with pytest.raises(InvalidParameterError):
+            nfdu_accuracy_bounds(1.0, 0.0, 0.05, 0.04)
+
+
+@given(
+    eta=st.floats(min_value=0.1, max_value=5.0),
+    shift=st.floats(min_value=0.05, max_value=10.0),
+    p_l=st.floats(min_value=0.0, max_value=0.9),
+    var=st.floats(min_value=1e-6, max_value=4.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_beta_gamma_are_probabilityish(eta, shift, p_l, var):
+    """β ∈ [0, 1] and γ ∈ [0, 1): structural sanity of the bounds."""
+    b = nfdu_accuracy_bounds(eta, shift, p_l, var)
+    assert 0.0 <= b.beta <= 1.0 + 1e-12
+    assert 0.0 <= b.gamma < 1.0
+    assert b.e_tmr_lower >= eta - 1e-9
+    assert b.e_tm_upper >= eta - 1e-9

@@ -1,0 +1,63 @@
+"""Tests for the NFD-E analytic approximation (extension)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.nfde_theory import nfde_approximation
+from repro.analysis.nfds_theory import nfdu_analysis
+from repro.errors import InvalidParameterError
+from repro.net.delays import ExponentialDelay
+from repro.sim.fastsim import simulate_nfde_fast
+
+D = ExponentialDelay(0.02)
+ALPHA = 2.0 - 0.02 - 1.0
+
+
+class TestValidation:
+    def test_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            nfde_approximation(1.0, ALPHA, 0.01, D, window=0)
+        with pytest.raises(InvalidParameterError):
+            nfde_approximation(1.0, ALPHA, 0.01, D, window=8, quadrature_points=1)
+
+
+class TestLimits:
+    def test_converges_to_nfdu_as_window_grows(self):
+        exact = nfdu_analysis(1.0, ALPHA, 0.01, D).e_tmr()
+        big = nfde_approximation(1.0, ALPHA, 0.01, D, window=100_000)
+        assert big["e_tmr"] == pytest.approx(exact, rel=0.01)
+        assert big["sigma_ea"] == pytest.approx(
+            math.sqrt(D.variance / 100_000)
+        )
+
+    def test_noise_scale(self):
+        ap = nfde_approximation(1.0, ALPHA, 0.01, D, window=16)
+        assert ap["sigma_ea"] == pytest.approx(math.sqrt(D.variance / 16))
+
+    def test_pa_identity(self):
+        ap = nfde_approximation(1.0, ALPHA, 0.01, D, window=16)
+        assert ap["query_accuracy"] == pytest.approx(
+            1.0 - ap["e_tm"] / ap["e_tmr"], rel=1e-6
+        )
+
+
+class TestAgainstSimulation:
+    @pytest.mark.slow
+    @pytest.mark.parametrize("window", [2, 8, 32])
+    def test_matches_measured_window_penalty(self, window):
+        ap = nfde_approximation(1.0, ALPHA, 0.01, D, window=window)
+        sim = simulate_nfde_fast(
+            1.0,
+            ALPHA,
+            0.01,
+            D,
+            window=window,
+            seed=44 + window,
+            target_mistakes=2000,
+            max_heartbeats=10_000_000,
+        )
+        assert ap["e_tmr"] == pytest.approx(sim.e_tmr, rel=0.10)
+        assert ap["e_tm"] == pytest.approx(sim.e_tm, rel=0.15)

@@ -1,0 +1,187 @@
+"""Tests for Proposition 3 / Theorem 5 — against both closed forms and
+Monte-Carlo estimates of the defining events."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.nfds_theory import NFDSAnalysis, nfdu_analysis
+from repro.errors import InvalidParameterError
+from repro.net.delays import (
+    ConstantDelay,
+    ExponentialDelay,
+    MixtureDelay,
+    UniformDelay,
+)
+
+
+class TestProposition3:
+    def test_k_formula(self):
+        assert NFDSAnalysis(1.0, 0.0, 0.0, ExponentialDelay(0.1)).k == 0
+        assert NFDSAnalysis(1.0, 0.5, 0.0, ExponentialDelay(0.1)).k == 1
+        assert NFDSAnalysis(1.0, 1.0, 0.0, ExponentialDelay(0.1)).k == 1
+        assert NFDSAnalysis(1.0, 1.0001, 0.0, ExponentialDelay(0.1)).k == 2
+        assert NFDSAnalysis(2.0, 5.0, 0.0, ExponentialDelay(0.1)).k == 3
+
+    def test_p_j_formula(self):
+        d = ExponentialDelay(0.5)
+        a = NFDSAnalysis(eta=1.0, delta=2.0, loss_probability=0.1, delay=d)
+        # p_j(x) = p_L + (1 - p_L) P(D > delta + x - j eta)
+        for j, x in [(0, 0.0), (1, 0.3), (2, 0.9), (3, 0.0)]:
+            expected = 0.1 + 0.9 * float(d.sf(2.0 + x - j))
+            assert a.p_j(j, x) == pytest.approx(expected)
+
+    def test_q0_uses_strict_inequality(self):
+        """q_0 = (1-p_L)·P(D < δ+η): strict matters for atom at δ+η."""
+        d = ConstantDelay(1.5)
+        a = NFDSAnalysis(eta=1.0, delta=0.5, loss_probability=0.0, delay=d)
+        assert a.q_0 == 0.0  # P(D < 1.5) = 0 for the point mass at 1.5
+
+    def test_u_is_product_of_pjs(self):
+        d = ExponentialDelay(0.3)
+        a = NFDSAnalysis(eta=1.0, delta=1.6, loss_probability=0.05, delay=d)
+        for x in (0.0, 0.4, 0.99):
+            expected = np.prod([a.p_j(j, x) for j in range(a.k + 1)])
+            assert a.u(x) == pytest.approx(float(expected))
+
+    def test_u_vectorized_matches_scalar(self):
+        a = NFDSAnalysis(1.0, 1.2, 0.02, ExponentialDelay(0.1))
+        xs = np.linspace(0.0, 0.999, 7)
+        vec = np.asarray(a.u(xs))
+        for i, x in enumerate(xs):
+            assert vec[i] == pytest.approx(a.u(float(x)))
+
+    def test_u_monotone_nonincreasing(self):
+        """More time since τ_i can only help a fresh message arrive, so
+        u(x) ≤ u(0) (Proposition 14)."""
+        a = NFDSAnalysis(1.0, 2.3, 0.01, ExponentialDelay(0.4))
+        xs = np.linspace(0.0, 0.999, 50)
+        u = np.asarray(a.u(xs))
+        assert np.all(u <= a.u(0.0) + 1e-12)
+
+    def test_p_s_definition(self):
+        a = NFDSAnalysis(1.0, 1.5, 0.02, ExponentialDelay(0.2))
+        assert a.p_s == pytest.approx(a.q_0 * a.u(0.0))
+
+
+class TestMonteCarloAgreement:
+    """Check Prop. 3's event probabilities by direct sampling."""
+
+    @pytest.mark.slow
+    def test_u0_and_ps_by_sampling(self, rng):
+        eta, delta, p_l = 1.0, 1.7, 0.15
+        d = ExponentialDelay(0.6)
+        a = NFDSAnalysis(eta, delta, p_l, d)
+        k = a.k  # 2
+        n = 400_000
+        # For window i (any i): messages m_{i-1}, m_i, ..., m_{i+k}.
+        # Arrival offsets relative to tau_i = i*eta + delta:
+        #   m_{i+j} arrives at (i+j)eta + D; before tau_i + x iff
+        #   D <= delta + x - j*eta.
+        delays = d.sample(rng, (n, k + 2))
+        lost = rng.random((n, k + 2)) < p_l
+        # column 0 = m_{i-1} (j = -1), columns 1..k+1 = j = 0..k
+        arrived_by_tau = np.empty((n, k + 2), dtype=bool)
+        for col in range(k + 2):
+            j = col - 1
+            arrived_by_tau[:, col] = (~lost[:, col]) & (
+                delays[:, col] < delta - j * eta
+            )
+        u0_mc = np.all(~arrived_by_tau[:, 1:], axis=1).mean()
+        ps_mc = (
+            arrived_by_tau[:, 0] & np.all(~arrived_by_tau[:, 1:], axis=1)
+        ).mean()
+        assert u0_mc == pytest.approx(a.u(0.0), rel=0.05)
+        assert ps_mc == pytest.approx(a.p_s, rel=0.05)
+
+
+class TestTheorem5:
+    def test_detection_bound(self):
+        a = NFDSAnalysis(1.0, 1.5, 0.02, ExponentialDelay(0.2))
+        assert a.detection_time_bound == pytest.approx(2.5)
+
+    def test_closed_form_exponential_k0(self):
+        """For k = 0 (δ = 0) everything is elementary: u(x) = p_L +
+        (1-p_L)e^{-(x)/m} ... with δ=0, u(x) = p_0(x)."""
+        m, p_l, eta = 0.5, 0.1, 1.0
+        a = NFDSAnalysis(eta, 0.0, p_l, ExponentialDelay(m))
+        integral = p_l * eta + (1 - p_l) * m * (1 - math.exp(-eta / m))
+        assert a.integral_u() == pytest.approx(integral, rel=1e-6)
+        q0 = (1 - p_l) * (1 - math.exp(-eta / m))
+        u0 = p_l + (1 - p_l) * 1.0  # P(D > 0) = 1
+        assert a.p_s == pytest.approx(q0 * u0)
+        assert a.e_tmr() == pytest.approx(eta / (q0 * u0))
+        assert a.e_tm() == pytest.approx(integral / (q0 * u0), rel=1e-6)
+
+    def test_pa_identity(self):
+        """P_A = 1 − E(T_M)/E(T_MR) (Theorem 1.2) must be consistent
+        with the direct Lemma 15 expression."""
+        a = NFDSAnalysis(1.0, 1.3, 0.05, ExponentialDelay(0.3))
+        assert a.query_accuracy() == pytest.approx(
+            1.0 - a.e_tm() / a.e_tmr(), rel=1e-9
+        )
+
+    def test_degenerate_p0_zero(self):
+        """Bounded delays + no loss: no mistakes ever (p_0 = 0)."""
+        a = NFDSAnalysis(
+            eta=1.0, delta=0.5, loss_probability=0.0,
+            delay=UniformDelay(0.01, 0.2),
+        )
+        assert a.p_0 == 0.0
+        assert math.isinf(a.e_tmr())
+        assert a.e_tm() == 0.0
+        assert a.query_accuracy() == pytest.approx(1.0)
+
+    def test_degenerate_q0_zero(self):
+        """Delays always exceed δ+η: q suspects forever."""
+        a = NFDSAnalysis(
+            eta=1.0, delta=0.5, loss_probability=0.0,
+            delay=ConstantDelay(5.0),
+        )
+        assert a.q_0 == 0.0
+        assert math.isinf(a.e_tm())
+        assert a.query_accuracy() == pytest.approx(0.0)
+
+    def test_integral_with_kinks(self):
+        """Mixture with atoms: quadrature must honor the kink points.
+        With D = 0.3 (w.p. 0.5) or 1.3 (w.p. 0.5), δ=0.5, η=1, k=1:
+        u(x) = p_0(x)·p_1(x); exact piecewise evaluation by hand."""
+        d = MixtureDelay([ConstantDelay(0.3), ConstantDelay(1.3)], [0.5, 0.5])
+        a = NFDSAnalysis(1.0, 0.5, 0.0, d)
+        # p_0(x) = P(D > 0.5 + x): 0.5 for x < 0.8, 0 for x > 0.8
+        # p_1(x) = P(D > x - 0.5): 1 for x < 0.8, 0.5 for x > 0.8
+        # u(x) = 0.5 for x < 0.8; 0 for x > 0.8  ->  integral = 0.4
+        assert a.integral_u() == pytest.approx(0.4, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            NFDSAnalysis(0.0, 1.0, 0.0, ExponentialDelay(0.1))
+        with pytest.raises(InvalidParameterError):
+            NFDSAnalysis(1.0, -1.0, 0.0, ExponentialDelay(0.1))
+        with pytest.raises(InvalidParameterError):
+            NFDSAnalysis(1.0, 1.0, 1.5, ExponentialDelay(0.1))
+
+    def test_predict_bundle_consistent(self):
+        a = NFDSAnalysis(1.0, 1.5, 0.01, ExponentialDelay(0.02))
+        p = a.predict()
+        assert p.e_tmr == pytest.approx(a.e_tmr())
+        assert p.e_tg == pytest.approx(p.e_tmr - p.e_tm)
+        assert p.mistake_rate == pytest.approx(1.0 / p.e_tmr)
+        assert p.e_tfg_lower == pytest.approx(p.e_tg / 2.0)
+        assert p.k == a.k
+
+
+class TestNFDUAnalysis:
+    def test_substitution_delta_equals_ed_plus_alpha(self):
+        d = ExponentialDelay(0.2)
+        a = nfdu_analysis(eta=1.0, alpha=0.8, loss_probability=0.05, delay=d)
+        b = NFDSAnalysis(1.0, 1.0, 0.05, d)
+        assert a.e_tmr() == pytest.approx(b.e_tmr())
+        assert a.e_tm() == pytest.approx(b.e_tm())
+
+    def test_negative_effective_shift_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            nfdu_analysis(1.0, -0.5, 0.0, ExponentialDelay(0.2))

@@ -1,0 +1,56 @@
+"""Tests for the largest-feasible-η search."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.search import largest_feasible_eta
+from repro.errors import ConfigurationError
+
+
+class TestLargestFeasibleEta:
+    def test_eta_max_feasible_returned_directly(self):
+        # f(eta) = 100/eta: feasible everywhere below 100/target.
+        eta = largest_feasible_eta(
+            lambda e: math.log(100.0 / e), eta_max=5.0, target=10.0
+        )
+        assert eta == 5.0
+
+    def test_finds_crossing(self):
+        # f(eta) = 100/eta >= 50  <=>  eta <= 2.
+        eta = largest_feasible_eta(
+            lambda e: math.log(100.0 / e), eta_max=10.0, target=50.0
+        )
+        assert eta == pytest.approx(2.0, rel=1e-6)
+
+    def test_handles_infinite_log_f(self):
+        eta = largest_feasible_eta(
+            lambda e: math.inf if e < 1.0 else 0.0, eta_max=4.0, target=5.0
+        )
+        assert eta == pytest.approx(1.0, rel=1e-6)
+
+    def test_result_always_verified_feasible(self):
+        """With a discontinuous, non-monotone f the answer may be
+        sub-optimal but must satisfy the predicate."""
+
+        def log_f(e):
+            # jagged: alternating feasibility bands
+            return math.log(1000.0 / e) if int(e * 10) % 2 == 0 else -10.0
+
+        target = 50.0
+        eta = largest_feasible_eta(log_f, eta_max=10.0, target=target)
+        assert log_f(eta) >= math.log(target)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            largest_feasible_eta(lambda e: 0.0, eta_max=0.0, target=1.0)
+        with pytest.raises(ConfigurationError):
+            largest_feasible_eta(lambda e: 0.0, eta_max=1.0, target=0.0)
+
+    def test_gives_up_when_nothing_feasible(self):
+        with pytest.raises(ConfigurationError):
+            largest_feasible_eta(
+                lambda e: -1e9, eta_max=1.0, target=10.0, max_halvings=30
+            )

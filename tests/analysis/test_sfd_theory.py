@@ -1,0 +1,135 @@
+"""Tests for the (extension) analytic model of the cutoff-SFD."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.sfd_theory import SFDAnalysis
+from repro.errors import InvalidParameterError
+from repro.net.delays import ConstantDelay, ExponentialDelay, UniformDelay
+from repro.sim.fastsim import simulate_sfd_fast
+
+D = ExponentialDelay(0.02)
+
+
+class TestValidation:
+    def test_parameter_checks(self):
+        with pytest.raises(InvalidParameterError):
+            SFDAnalysis(0.0, 1.0, 0.0, D)
+        with pytest.raises(InvalidParameterError):
+            SFDAnalysis(1.0, 0.0, 0.0, D)
+        with pytest.raises(InvalidParameterError):
+            SFDAnalysis(1.0, 1.0, 1.0, D)
+        with pytest.raises(InvalidParameterError):
+            SFDAnalysis(1.0, 1.0, 0.0, D, cutoff=-0.1)
+        with pytest.raises(InvalidParameterError):
+            SFDAnalysis(1.0, 1.0, 0.0, D, grid=4)
+
+    def test_cutoff_must_be_below_eta(self):
+        with pytest.raises(InvalidParameterError):
+            SFDAnalysis(1.0, 1.0, 0.0, D, cutoff=1.5)
+
+    def test_zero_acceptance_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SFDAnalysis(1.0, 1.0, 0.0, ConstantDelay(0.5), cutoff=0.1)
+
+
+class TestClosedFormCases:
+    def test_constant_delay_pure_loss_geometry(self):
+        """With constant delays, W = 0 and a mistake needs exactly
+        m >= ceil(TO/eta) consecutive losses: E(T_MR) = eta/((1-p)p^m)."""
+        p = 0.2
+        analysis = SFDAnalysis(
+            1.0, 2.5, p, ConstantDelay(0.01), cutoff=0.5
+        )
+        expected = 1.0 / ((1 - p) * p**2)
+        assert analysis.e_tmr() == pytest.approx(expected, rel=1e-6)
+
+    def test_constant_delay_mistake_duration(self):
+        """With constant delays the mistake duration of a K-step gap is
+        exactly K·η − TO; the geometric mixture must match simulation."""
+        p = 0.1
+        analysis = SFDAnalysis(1.0, 2.5, p, ConstantDelay(0.01), cutoff=0.5)
+        sim = simulate_sfd_fast(
+            1.0,
+            2.5,
+            p,
+            ConstantDelay(0.01),
+            cutoff=0.5,
+            seed=8,
+            target_mistakes=4000,
+            max_heartbeats=20_000_000,
+        )
+        assert analysis.e_tm() == pytest.approx(sim.e_tm, rel=0.05)
+
+    def test_lossless_bounded_delay_never_mistakes(self):
+        """Uniform delays within the cutoff, no loss, TO > eta + c:
+        gaps never exceed TO."""
+        analysis = SFDAnalysis(
+            1.0, 1.5, 0.0, UniformDelay(0.01, 0.2), cutoff=0.3
+        )
+        assert math.isinf(analysis.e_tmr())
+        assert analysis.query_accuracy() == 1.0
+
+
+class TestAgainstSimulation:
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "tdu,c", [(2.0, 0.16), (2.0, 0.08), (2.5, 0.16), (2.5, 0.08)]
+    )
+    def test_matches_fastsim(self, tdu, c):
+        analysis = SFDAnalysis(1.0, tdu - c, 0.01, D, cutoff=c)
+        sim = simulate_sfd_fast(
+            1.0,
+            tdu - c,
+            0.01,
+            D,
+            cutoff=c,
+            seed=5,
+            target_mistakes=2000,
+            max_heartbeats=30_000_000,
+        )
+        assert analysis.e_tmr() == pytest.approx(sim.e_tmr, rel=0.10)
+        assert analysis.e_tm() == pytest.approx(sim.e_tm, rel=0.10)
+        assert analysis.query_accuracy() == pytest.approx(
+            sim.query_accuracy, abs=1e-4
+        )
+
+    @pytest.mark.slow
+    def test_plain_sfd_without_cutoff(self):
+        """cutoff=None truncates at a negligible quantile; with
+        exponential(0.02) delays and eta=1 this is exact in practice."""
+        analysis = SFDAnalysis(1.0, 1.8, 0.05, D, cutoff=None)
+        sim = simulate_sfd_fast(
+            1.0,
+            1.8,
+            0.05,
+            D,
+            cutoff=None,
+            seed=6,
+            target_mistakes=2000,
+            max_heartbeats=10_000_000,
+        )
+        assert analysis.e_tmr() == pytest.approx(sim.e_tmr, rel=0.10)
+
+    def test_predict_bundle(self):
+        p = SFDAnalysis(1.0, 1.84, 0.01, D, cutoff=0.16).predict()
+        assert p.detection_time_bound == pytest.approx(2.0)
+        assert p.mistake_rate == pytest.approx(1.0 / p.e_tmr)
+        assert 0.0 < p.acceptance_probability < 1.0
+
+
+class TestTradeoffShape:
+    def test_interior_optimum_in_cutoff(self):
+        """The Section 7.2 trade-off, now analytic: E(T_MR) as a
+        function of c has an interior maximum."""
+        tdu = 2.5
+        values = []
+        for c in (0.02, 0.08, 0.32, 0.9):
+            values.append(
+                SFDAnalysis(1.0, tdu - c, 0.01, D, cutoff=c).e_tmr()
+            )
+        assert values[1] > values[0]  # tiny cutoff discards too much
+        assert values[2] > values[3]  # huge cutoff starves the timer

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.delays import ConstantDelay, ExponentialDelay
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for statistical tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def exp_delay():
+    """The paper's Section 7 delay distribution: exponential, mean 0.02."""
+    return ExponentialDelay(0.02)
+
+
+@pytest.fixture
+def const_delay():
+    """A deterministic delay for exact-trace tests."""
+    return ConstantDelay(0.1)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: statistically heavy test (seconds, not ms)"
+    )

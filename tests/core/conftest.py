@@ -1,0 +1,51 @@
+"""Helpers for driving detectors with scripted message deliveries."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import pytest
+
+from repro.core.base import HeartbeatFailureDetector
+from repro.metrics.transitions import OutputTrace
+from repro.sim.engine import Simulator
+from repro.sim.monitor import DetectorHost
+
+
+class ScriptedRun:
+    """Drive a detector with an explicit arrival schedule.
+
+    ``messages`` are ``(seq, arrival_time)`` or
+    ``(seq, arrival_time, send_time)`` tuples in real time; send_time
+    defaults to ``seq * eta`` with η read from the detector when present.
+    """
+
+    def __init__(self, detector: HeartbeatFailureDetector):
+        self.sim = Simulator()
+        self.host = DetectorHost(self.sim, detector)
+        self.detector = detector
+
+    def deliver_at(self, seq: int, arrival: float, send_time=None) -> None:
+        if send_time is None:
+            eta = getattr(self.detector, "eta", 1.0)
+            send_time = seq * eta
+        self.sim.schedule_at(
+            arrival, lambda s=seq, t=send_time: self.host.deliver(s, t)
+        )
+
+    def run(
+        self,
+        messages: Iterable[Tuple],
+        until: float,
+    ) -> OutputTrace:
+        self.host.start()
+        for msg in messages:
+            self.deliver_at(*msg)
+        self.sim.run_until(until)
+        return self.host.finish()
+
+
+@pytest.fixture
+def scripted():
+    """Factory: scripted(detector) -> ScriptedRun."""
+    return ScriptedRun

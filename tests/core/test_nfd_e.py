@@ -1,0 +1,134 @@
+"""Tests for NFD-E and the eq. (6.3) arrival-time estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.nfd_e import NFDE, ArrivalTimeEstimator
+from repro.errors import InvalidParameterError
+from repro.metrics.transitions import SUSPECT, TRUST
+from repro.net.clocks import SkewedClock
+from repro.net.delays import ConstantDelay, ExponentialDelay
+from repro.net.link import LossyLink
+from repro.sim.engine import Simulator
+from repro.sim.heartbeat import HeartbeatSender
+from repro.sim.monitor import DetectorHost
+
+
+class TestArrivalTimeEstimator:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ArrivalTimeEstimator(eta=0.0, window=4)
+        with pytest.raises(InvalidParameterError):
+            ArrivalTimeEstimator(eta=1.0, window=0)
+
+    def test_requires_data(self):
+        est = ArrivalTimeEstimator(eta=1.0, window=4)
+        assert not est.ready
+        with pytest.raises(InvalidParameterError):
+            est.expected_arrival(5)
+
+    def test_exact_formula_eq_6_3(self):
+        """EA_{ℓ+1} = (1/n)·Σ(A'_i − η·s_i) + (ℓ+1)·η, verbatim."""
+        est = ArrivalTimeEstimator(eta=2.0, window=10)
+        data = [(1, 2.3), (2, 4.1), (4, 8.6)]
+        for s, a in data:
+            est.observe(s, a)
+        n = len(data)
+        expected = sum(a - 2.0 * s for s, a in data) / n + 2.0 * 5
+        assert est.expected_arrival(5) == pytest.approx(expected)
+
+    def test_window_eviction(self):
+        est = ArrivalTimeEstimator(eta=1.0, window=2)
+        est.observe(1, 1.9)  # normalized 0.9 — should be evicted
+        est.observe(2, 2.1)
+        est.observe(3, 3.1)
+        # window holds (2, 2.1), (3, 3.1): normalized mean 0.1
+        assert est.expected_arrival(4) == pytest.approx(4.1)
+        assert est.n_samples == 2
+
+    def test_constant_delay_gives_exact_ea(self):
+        est = ArrivalTimeEstimator(eta=1.0, window=8)
+        for s in range(1, 9):
+            est.observe(s, s * 1.0 + 0.25)
+        assert est.expected_arrival(9) == pytest.approx(9.25)
+
+    def test_skew_absorbed_into_estimate(self):
+        """With skewed receipt clocks the estimate shifts with the skew —
+        exactly what NFD-U needs (EA in q's local clock)."""
+        est = ArrivalTimeEstimator(eta=1.0, window=8)
+        skew = 500.0
+        for s in range(1, 9):
+            est.observe(s, s * 1.0 + 0.25 + skew)
+        assert est.expected_arrival(9) == pytest.approx(9.25 + skew)
+
+
+class TestNFDE:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            NFDE(eta=1.0, alpha=0.3, window=0)
+
+    def test_estimator_includes_current_message(self, scripted):
+        """Fig. 9 line 10: the estimate uses the n most recent messages
+        *including* the one just received."""
+        det = NFDE(eta=1.0, alpha=0.5, window=4)
+        run = scripted(det)
+        run.run([(1, 1.25)], until=1.5)
+        # After m_1 at 1.25: normalized mean 0.25; τ_2 = 2.25 + 0.5.
+        assert det.next_freshness_point == pytest.approx(2.75)
+
+    def test_behaves_like_nfdu_with_constant_delays(self, scripted):
+        det = NFDE(eta=1.0, alpha=0.3, window=4)
+        run = scripted(det)
+        msgs = [(i, i + 0.2) for i in range(1, 6)]
+        trace = run.run(msgs, until=7.0)
+        assert trace.output_at(5.3) == TRUST
+        # τ_6 = 6.2 + 0.3 = 6.5 — suspicion exactly at the bound.
+        assert trace.output_at(6.5) == SUSPECT
+
+    def test_unsynchronized_clocks_end_to_end(self):
+        """NFD-E with a large q-side clock skew behaves exactly as with
+        synchronized clocks — the whole point of Section 6."""
+        eta, alpha = 1.0, 0.5
+        results = []
+        for skew in (0.0, 10_000.0):
+            sim = Simulator()
+            det = NFDE(eta=eta, alpha=alpha, window=16)
+            host = DetectorHost(sim, det, clock=SkewedClock(skew))
+            link = LossyLink(
+                ExponentialDelay(0.05),
+                loss_probability=0.05,
+                rng=np.random.default_rng(42),
+            )
+            sender = HeartbeatSender(sim, link, eta=eta, deliver=host.deliver)
+            host.start()
+            sender.start()
+            sim.run_until(2000.0)
+            trace = host.finish()
+            results.append(
+                (len(trace.s_transition_times), trace.empirical_query_accuracy())
+            )
+        # Same RNG stream -> identical message fates -> identical outputs
+        # (up to float rounding of the huge skew in local-time arithmetic).
+        assert results[0][0] == results[1][0]
+        assert results[0][1] == pytest.approx(results[1][1], abs=1e-9)
+
+    def test_detection_after_crash(self):
+        sim = Simulator()
+        det = NFDE(eta=1.0, alpha=0.5, window=8)
+        host = DetectorHost(sim, det)
+        link = LossyLink(ConstantDelay(0.1), rng=np.random.default_rng(0))
+        sender = HeartbeatSender(
+            sim, link, eta=1.0, deliver=host.deliver, crash_time=20.3
+        )
+        host.start()
+        sender.start()
+        sim.run_until(60.0)
+        trace = host.finish()
+        assert trace.current_output == SUSPECT
+        final = trace.transitions[-1]
+        # Last heartbeat m_20 at 20.1; τ_21 = 21.1 + 0.5 = 21.6.
+        assert final.time == pytest.approx(21.6)
+        # T_D = 21.6 − 20.3 = 1.3 ≤ α + η + E(D) = 1.6.
+        assert final.time - 20.3 <= 0.5 + 1.0 + 0.1 + 1e-9

@@ -1,0 +1,109 @@
+"""Tests for the φ-accrual extension."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.phi_accrual import PhiAccrualFD
+from repro.errors import InvalidParameterError
+from repro.metrics.transitions import SUSPECT, TRUST
+from repro.net.delays import ConstantDelay
+from repro.sim.runner import SimulationConfig, run_crash_runs, run_failure_free
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            PhiAccrualFD(threshold=0.0)
+        with pytest.raises(InvalidParameterError):
+            PhiAccrualFD(window=1)
+        with pytest.raises(InvalidParameterError):
+            PhiAccrualFD(min_std=0.0)
+
+
+class TestPhi:
+    def test_phi_grows_with_silence(self, scripted):
+        det = PhiAccrualFD(threshold=8.0, bootstrap_interval=1.0)
+        run = scripted(det)
+        run.host.start()
+        for i in range(1, 11):
+            run.deliver_at(i, float(i))
+        run.sim.run_until(10.0)
+        phi_now = det.phi(10.5)
+        phi_later = det.phi(12.0)
+        assert phi_later > phi_now >= 0.0
+
+    def test_phi_infinite_before_any_heartbeat(self, scripted):
+        det = PhiAccrualFD(bootstrap_interval=1.0)
+        run = scripted(det)
+        run.host.start()
+        assert math.isinf(det.phi())
+
+    def test_crossing_delay_inverts_threshold(self, scripted):
+        """φ evaluated exactly at the scheduled crossing equals Φ."""
+        det = PhiAccrualFD(threshold=4.0, bootstrap_interval=None)
+        run = scripted(det)
+        run.host.start()
+        for i in range(1, 30):
+            run.deliver_at(i, float(i))
+        run.sim.run_until(29.0)
+        delay = det._crossing_delay()
+        assert det.phi(29.0 + delay) == pytest.approx(4.0, rel=1e-6)
+
+
+class TestBinaryOutput:
+    def test_trust_on_heartbeat_suspect_on_silence(self, scripted):
+        det = PhiAccrualFD(threshold=2.0, bootstrap_interval=1.0)
+        run = scripted(det)
+        msgs = [(i, float(i)) for i in range(1, 6)]
+        trace = run.run(msgs, until=20.0)
+        assert trace.output_at(5.0) == TRUST
+        assert trace.output_at(19.0) == SUSPECT
+
+    def test_no_suspicion_while_heartbeats_flow(self):
+        config = SimulationConfig(
+            eta=1.0,
+            delay=ConstantDelay(0.05),
+            loss_probability=0.0,
+            horizon=500.0,
+            warmup=20.0,
+            seed=3,
+        )
+        res = run_failure_free(
+            lambda: PhiAccrualFD(threshold=8.0, bootstrap_interval=1.0),
+            config,
+        )
+        assert res.accuracy.n_mistakes == 0
+
+    def test_stale_sequence_ignored(self, scripted):
+        det = PhiAccrualFD(threshold=2.0, bootstrap_interval=1.0)
+        run = scripted(det)
+        run.host.start()
+        run.deliver_at(2, 2.0)
+        run.deliver_at(1, 2.5)  # reordered old heartbeat
+        run.sim.run_until(3.0)
+        assert det._last_seq == 2
+
+    def test_threshold_monotone_in_detection_time(self):
+        """Higher Φ -> slower detection (the φ-accrual trade-off)."""
+        config = SimulationConfig(
+            eta=1.0,
+            delay=ConstantDelay(0.05),
+            loss_probability=0.0,
+            horizon=80.0,
+            seed=11,
+        )
+        means = []
+        for phi in (1.0, 4.0, 12.0):
+            r = run_crash_runs(
+                lambda phi=phi: PhiAccrualFD(
+                    threshold=phi, bootstrap_interval=1.0
+                ),
+                config,
+                n_runs=40,
+                settle_time=60.0,
+            )
+            means.append(r.mean_detection_time)
+        assert means[0] < means[1] < means[2]

@@ -1,0 +1,48 @@
+"""Tests for the detector registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import HeartbeatFailureDetector
+from repro.core.nfd_s import NFDS
+from repro.core.registry import (
+    available_detectors,
+    create_detector,
+    register_detector,
+)
+from repro.errors import InvalidParameterError
+
+
+def test_builtin_names_present():
+    names = available_detectors()
+    for expected in ("nfd-s", "nfd-u", "nfd-e", "sfd", "phi-accrual"):
+        assert expected in names
+
+
+def test_create_by_name():
+    d = create_detector("nfd-s", eta=1.0, delta=2.0)
+    assert isinstance(d, NFDS)
+    assert d.delta == 2.0
+
+
+def test_unknown_name():
+    with pytest.raises(InvalidParameterError):
+        create_detector("nope")
+
+
+def test_register_custom_and_conflict():
+    class Custom(NFDS):
+        name = "custom-test"
+
+    register_detector("custom-test", Custom)
+    try:
+        d = create_detector("custom-test", eta=1.0, delta=0.5)
+        assert isinstance(d, Custom)
+        with pytest.raises(InvalidParameterError):
+            register_detector("custom-test", Custom)
+    finally:
+        # keep the global registry clean for other tests
+        from repro.core import registry
+
+        registry._FACTORIES.pop("custom-test", None)

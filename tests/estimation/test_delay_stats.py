@@ -1,0 +1,98 @@
+"""Tests for streaming/windowed delay statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError, InvalidParameterError
+from repro.estimation.delay_stats import DelayStatsEstimator, WindowedDelayStats
+
+
+class TestDelayStatsEstimator:
+    def test_requires_data(self):
+        est = DelayStatsEstimator()
+        with pytest.raises(EstimationError):
+            est.mean()
+        with pytest.raises(EstimationError):
+            est.variance()
+
+    def test_matches_numpy(self, rng):
+        data = rng.lognormal(-3, 0.8, 2000)
+        est = DelayStatsEstimator()
+        for x in data:
+            est.observe(float(x))
+        assert est.mean() == pytest.approx(data.mean(), rel=1e-12)
+        assert est.variance() == pytest.approx(data.var(ddof=1), rel=1e-9)
+        assert est.n_samples == 2000
+
+    def test_rejects_nonfinite(self):
+        est = DelayStatsEstimator()
+        with pytest.raises(EstimationError):
+            est.observe(math.inf)
+        with pytest.raises(EstimationError):
+            est.observe(math.nan)
+
+    def test_variance_needs_two_samples(self):
+        est = DelayStatsEstimator()
+        est.observe(0.5)
+        with pytest.raises(EstimationError):
+            est.variance()
+
+    def test_skew_invariance(self, rng):
+        """Adding a constant to every sample leaves the variance alone —
+        the Section 6.2.2 property the NFD-U configurator relies on."""
+        data = rng.exponential(0.05, 1000)
+        a, b = DelayStatsEstimator(), DelayStatsEstimator()
+        for x in data:
+            a.observe(float(x))
+            b.observe(float(x) + 9999.0)
+        assert a.variance() == pytest.approx(b.variance(), rel=1e-6)
+        assert b.mean() - a.mean() == pytest.approx(9999.0, rel=1e-9)
+
+
+class TestWindowedDelayStats:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            WindowedDelayStats(window=1)
+
+    def test_window_eviction_exact(self, rng):
+        data = rng.exponential(1.0, 500)
+        win = WindowedDelayStats(window=100)
+        for x in data:
+            win.observe(float(x))
+        tail = data[-100:]
+        assert win.full
+        assert win.mean() == pytest.approx(tail.mean(), rel=1e-9)
+        assert win.variance() == pytest.approx(tail.var(ddof=1), rel=1e-6)
+
+    def test_partial_window(self):
+        win = WindowedDelayStats(window=10)
+        win.observe(1.0)
+        win.observe(3.0)
+        assert not win.full
+        assert win.mean() == pytest.approx(2.0)
+        assert win.variance() == pytest.approx(2.0)
+
+    def test_tracks_regime_change(self, rng):
+        """A windowed estimator forgets the old regime — the property
+        the Section 8.1 adaptive detector needs."""
+        win = WindowedDelayStats(window=50)
+        for x in rng.exponential(0.02, 500):
+            win.observe(float(x))
+        for x in rng.exponential(0.5, 500):
+            win.observe(float(x))
+        assert win.mean() == pytest.approx(0.5, rel=0.5)
+
+    def test_rejects_nonfinite(self):
+        win = WindowedDelayStats(window=5)
+        with pytest.raises(EstimationError):
+            win.observe(math.inf)
+
+    def test_variance_clamped_nonnegative(self):
+        win = WindowedDelayStats(window=4)
+        for _ in range(4):
+            win.observe(1e9)  # identical large values: rounding hazards
+        assert win.variance() >= 0.0

@@ -1,0 +1,70 @@
+"""Tests for the loss-rate estimator (Section 5.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError, InvalidParameterError
+from repro.estimation.loss import LossRateEstimator
+
+
+class TestLossRateEstimator:
+    def test_no_data(self):
+        est = LossRateEstimator()
+        assert est.estimate() == 0.0
+        assert est.highest_seq is None
+        assert est.n_observed == 0
+
+    def test_no_losses(self):
+        est = LossRateEstimator()
+        for s in range(1, 101):
+            est.observe(s)
+        assert est.estimate() == 0.0
+        assert est.received_count == 100
+
+    def test_counts_gaps(self):
+        est = LossRateEstimator()
+        for s in (1, 2, 5, 6, 10):
+            est.observe(s)
+        # missing: 3, 4, 7, 8, 9 out of 10 slots
+        assert est.missing_count == 5
+        assert est.estimate() == pytest.approx(0.5)
+
+    def test_late_arrival_uncounts_loss(self):
+        """Reordered delivery is not a loss: the estimate must converge
+        to p_L, not p_L + reorder rate."""
+        est = LossRateEstimator()
+        est.observe(1)
+        est.observe(3)
+        assert est.estimate() == pytest.approx(1 / 3)
+        est.observe(2)  # late, but delivered
+        assert est.estimate() == 0.0
+
+    def test_duplicates_ignored(self):
+        est = LossRateEstimator()
+        est.observe(1)
+        est.observe(1)
+        assert est.received_count == 1
+
+    def test_first_gap_counted(self):
+        """Losing the very first heartbeats must count too."""
+        est = LossRateEstimator()
+        est.observe(4)
+        assert est.missing_count == 3
+        assert est.estimate() == pytest.approx(0.75)
+
+    def test_seq_below_first_rejected(self):
+        est = LossRateEstimator(first_seq=5)
+        with pytest.raises(EstimationError):
+            est.observe(4)
+        with pytest.raises(InvalidParameterError):
+            LossRateEstimator(first_seq=-1)
+
+    def test_converges_statistically(self, rng):
+        est = LossRateEstimator()
+        p = 0.07
+        for s in range(1, 30_001):
+            if rng.random() >= p:
+                est.observe(s)
+        assert est.estimate() == pytest.approx(p, abs=0.01)

@@ -1,0 +1,57 @@
+"""Tests for the combined heartbeat observer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import Heartbeat
+from repro.errors import EstimationError
+from repro.estimation.observer import HeartbeatObserver
+
+
+def feed(observer, rng, n=500, eta=1.0, mean_delay=0.05, p_loss=0.1,
+         skew=0.0):
+    for s in range(1, n + 1):
+        if rng.random() < p_loss:
+            continue
+        delay = float(rng.exponential(mean_delay))
+        observer.observe(
+            Heartbeat(
+                seq=s,
+                send_local_time=s * eta,
+                receive_local_time=s * eta + delay + skew,
+            )
+        )
+
+
+class TestHeartbeatObserver:
+    def test_not_ready_without_samples(self):
+        obs = HeartbeatObserver(eta=1.0)
+        assert not obs.ready
+        with pytest.raises(EstimationError):
+            obs.snapshot()
+
+    def test_snapshot_estimates_network(self, rng):
+        obs = HeartbeatObserver(eta=1.0, stats_window=400)
+        feed(obs, rng, n=3000, mean_delay=0.05, p_loss=0.1)
+        snap = obs.snapshot()
+        assert snap.loss_probability == pytest.approx(0.1, abs=0.03)
+        assert snap.mean_delay == pytest.approx(0.05, rel=0.25)
+        assert snap.var_delay == pytest.approx(0.05**2, rel=0.5)
+        assert snap.n_samples == 400
+
+    def test_skew_shifts_mean_not_variance(self, rng):
+        obs = HeartbeatObserver(eta=1.0, stats_window=400)
+        feed(obs, rng, n=3000, mean_delay=0.05, p_loss=0.0, skew=777.0)
+        snap = obs.snapshot()
+        assert snap.mean_delay == pytest.approx(777.05, rel=1e-3)
+        assert snap.var_delay == pytest.approx(0.05**2, rel=0.5)
+
+    def test_expected_arrival_passthrough(self, rng):
+        obs = HeartbeatObserver(eta=1.0, arrival_window=8)
+        for s in range(1, 9):
+            obs.observe(
+                Heartbeat(seq=s, send_local_time=s, receive_local_time=s + 0.3)
+            )
+        assert obs.expected_arrival(9) == pytest.approx(9.3)

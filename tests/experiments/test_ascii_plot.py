@@ -1,0 +1,98 @@
+"""Tests for the ASCII series renderer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.ascii_plot import render_series
+
+
+class TestRenderSeries:
+    def test_basic_rendering(self):
+        out = render_series(
+            [1.0, 2.0, 3.0],
+            [("+", "up", [10.0, 100.0, 1000.0])],
+            title="demo",
+        )
+        assert "demo" in out
+        assert "+" in out
+        assert "T_D^U" in out
+        assert "+ up" in out
+
+    def test_log_scale_positions_monotone(self):
+        out = render_series(
+            [1.0, 2.0, 3.0],
+            [("+", "s", [1.0, 100.0, 10_000.0])],
+            height=10,
+        )
+        rows = [
+            i
+            for i, line in enumerate(out.splitlines())
+            if "|" in line and "+" in line.split("|", 1)[1]
+        ]
+        # Three distinct rows, descending value with increasing row index.
+        assert len(rows) == 3
+
+    def test_skips_nonfinite_points(self):
+        out = render_series(
+            [1.0, 2.0],
+            [("x", "s", [math.nan, 5.0])],
+        )
+        assert out.count("x") >= 1  # legend + the one finite point
+
+    def test_all_bad_points(self):
+        out = render_series([1.0], [("x", "s", [math.nan])])
+        assert "no finite points" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series([1.0, 2.0], [("x", "s", [1.0])])
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            render_series([1.0], [("x", "s", [1.0])], width=5)
+
+    def test_multiple_series_glyphs_present(self):
+        out = render_series(
+            [1.0, 2.0],
+            [
+                ("+", "a", [10.0, 20.0]),
+                ("o", "b", [30.0, 40.0]),
+            ],
+        )
+        body = out.split("|", 1)[1]
+        assert "+" in body and "o" in body
+
+    def test_fig12_integration(self):
+        from repro.experiments.fig12 import Fig12Point, fig12_ascii_plot
+        from repro.sim.fastsim import FastAccuracyResult
+        import numpy as np
+
+        def fake(e_tmr):
+            s = np.arange(3, dtype=float) * e_tmr
+            return FastAccuracyResult(
+                algorithm="fake",
+                n_heartbeats=10,
+                total_time=10.0,
+                suspect_time=0.1,
+                s_transition_times=s,
+                mistake_durations=np.array([0.1, 0.1]),
+                truncated=False,
+            )
+
+        points = [
+            Fig12Point(
+                tdu=t,
+                analytic_tmr=10.0**t,
+                analytic_tm=0.1,
+                nfds=fake(10.0**t),
+                nfde=fake(10.0**t),
+                sfd_l=fake(10.0**t / 2),
+                sfd_s=fake(10.0**t / 10),
+            )
+            for t in (1.0, 2.0, 3.0)
+        ]
+        out = fig12_ascii_plot(points)
+        assert "NFD-S" in out and "SFD-S" in out

@@ -1,0 +1,69 @@
+"""Tests for the report generator and the CLI plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import _EXPERIMENTS, main
+from repro.experiments.report import generate_report
+
+
+class TestReport:
+    def test_generates_markdown_with_selected_experiments(self, tmp_path):
+        path = generate_report(
+            tmp_path / "REPORT.md",
+            full=False,
+            experiments=["config-examples", "profile-costs"],
+        )
+        text = path.read_text()
+        assert "# Reproduction report" in text
+        assert "## config-examples" in text
+        assert "## profile-costs" in text
+        assert "paper worked examples" in text
+        assert "```text" in text
+
+    def test_environment_stamps_present(self, tmp_path):
+        path = generate_report(
+            tmp_path / "R.md", experiments=["config-examples"]
+        )
+        text = path.read_text()
+        assert "library: repro" in text
+        assert "python:" in text
+
+
+class TestCLI:
+    def test_experiment_registry_covers_design_index(self):
+        for name in (
+            "fig12",
+            "config-examples",
+            "nfde-window",
+            "optimality",
+            "detection-time",
+            "cutoff-ablation",
+            "distributions",
+            "adaptive",
+            "phi-accrual",
+            "profile-costs",
+        ):
+            assert name in _EXPERIMENTS
+
+    def test_cli_runs_one_experiment(self, capsys, tmp_path):
+        rc = main(["config-examples", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Configuration procedures" in out
+        assert (tmp_path / "config-examples.txt").exists()
+
+    def test_cli_report_mode(self, capsys, tmp_path, monkeypatch):
+        # Keep it fast: shrink the registry to one cheap experiment.
+        monkeypatch.setattr(
+            "repro.experiments.cli._EXPERIMENTS",
+            {"config-examples": _EXPERIMENTS["config-examples"]},
+        )
+        rc = main(["report", "--out", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "REPORT.md").exists()
+
+    def test_cli_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-thing"])

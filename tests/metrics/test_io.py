@@ -1,0 +1,92 @@
+"""Tests for trace/estimate serialization."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.metrics.io import (
+    accuracy_from_dict,
+    accuracy_to_dict,
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.metrics.qos import estimate_accuracy
+from repro.metrics.transitions import SUSPECT, TRUST, OutputTrace
+
+
+def sample_trace():
+    t = OutputTrace(start_time=1.0, initial_output=SUSPECT)
+    t.record(2.0, TRUST)
+    t.record(5.5, SUSPECT)
+    t.record(6.0, TRUST)
+    return t.close(10.0)
+
+
+class TestTraceRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        original = sample_trace()
+        restored = trace_from_dict(trace_to_dict(original))
+        assert restored.start_time == original.start_time
+        assert restored.end_time == original.end_time
+        assert restored.initial_output == original.initial_output
+        assert restored.n_transitions == original.n_transitions
+        for a, b in zip(restored.transitions, original.transitions):
+            assert a.time == b.time and a.kind == b.kind
+        assert restored.empirical_query_accuracy() == pytest.approx(
+            original.empirical_query_accuracy()
+        )
+
+    def test_json_serializable(self):
+        payload = json.dumps(trace_to_dict(sample_trace()))
+        restored = trace_from_dict(json.loads(payload))
+        assert restored.n_transitions == 3
+
+    def test_open_trace_rejected(self):
+        with pytest.raises(TraceError):
+            trace_to_dict(OutputTrace())
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(TraceError):
+            trace_from_dict({"format": "bogus"})
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "sub" / "trace.json"
+        save_trace(sample_trace(), path)
+        restored = load_trace(path)
+        assert restored.end_time == 10.0
+
+
+class TestAccuracyRoundTrip:
+    def test_round_trip(self):
+        est = estimate_accuracy(sample_trace())
+        restored = accuracy_from_dict(accuracy_to_dict(est))
+        assert restored.e_tm == pytest.approx(est.e_tm)
+        assert restored.n_mistakes == est.n_mistakes
+        np.testing.assert_allclose(restored.tm_samples, est.tm_samples)
+
+    def test_nan_metrics_survive(self):
+        t = OutputTrace(initial_output=TRUST).close(5.0)
+        est = estimate_accuracy(t)
+        restored = accuracy_from_dict(
+            json.loads(json.dumps(accuracy_to_dict(est)))
+        )
+        assert math.isnan(restored.e_tmr)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(TraceError):
+            accuracy_from_dict({"format": "bogus"})
+
+    def test_analysis_recomputable_from_samples(self):
+        """The point of persistence: re-derive metrics offline."""
+        est = estimate_accuracy(sample_trace())
+        data = accuracy_to_dict(est)
+        tmr = np.asarray(data["tmr_samples"])
+        if tmr.size:
+            assert tmr.mean() == pytest.approx(est.e_tmr)

@@ -1,0 +1,64 @@
+"""Tests for pooling accuracy estimates across independent runs."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.metrics.qos import estimate_accuracy, pool_accuracy
+from repro.metrics.transitions import SUSPECT, TRUST, OutputTrace
+
+
+def periodic_trace(n_cycles, good, bad):
+    t = OutputTrace(initial_output=TRUST)
+    now = 0.0
+    for _ in range(n_cycles):
+        now += good
+        t.record(now, SUSPECT)
+        now += bad
+        t.record(now, TRUST)
+    return t.close(now)
+
+
+class TestPoolAccuracy:
+    def test_requires_input(self):
+        with pytest.raises(InvalidParameterError):
+            pool_accuracy([])
+
+    def test_pooling_identical_runs_is_identity(self):
+        est = estimate_accuracy(periodic_trace(10, 12.0, 4.0))
+        pooled = pool_accuracy([est, est])
+        assert pooled.e_tmr == pytest.approx(est.e_tmr)
+        assert pooled.e_tm == pytest.approx(est.e_tm)
+        assert pooled.query_accuracy == pytest.approx(est.query_accuracy)
+        assert pooled.n_mistakes == 2 * est.n_mistakes
+        assert pooled.observation_time == pytest.approx(
+            2 * est.observation_time
+        )
+
+    def test_pooled_mean_is_sample_weighted(self):
+        a = estimate_accuracy(periodic_trace(10, 10.0, 2.0))  # T_MR = 12
+        b = estimate_accuracy(periodic_trace(30, 20.0, 4.0))  # T_MR = 24
+        pooled = pool_accuracy([a, b])
+        n_a, n_b = a.tmr_samples.size, b.tmr_samples.size
+        expected = (12.0 * n_a + 24.0 * n_b) / (n_a + n_b)
+        assert pooled.e_tmr == pytest.approx(expected)
+
+    def test_pooled_pa_is_time_weighted(self):
+        a = estimate_accuracy(periodic_trace(10, 12.0, 4.0))  # P_A = .75
+        b = estimate_accuracy(periodic_trace(10, 4.0, 4.0))  # P_A = .50
+        pooled = pool_accuracy([a, b])
+        ta, tb = a.observation_time, b.observation_time
+        expected = (0.75 * ta + 0.5 * tb) / (ta + tb)
+        assert pooled.query_accuracy == pytest.approx(expected)
+
+    def test_runs_without_mistakes_contribute_time(self):
+        clean = estimate_accuracy(OutputTrace(initial_output=TRUST).close(100.0))
+        noisy = estimate_accuracy(periodic_trace(5, 12.0, 4.0))
+        pooled = pool_accuracy([clean, noisy])
+        assert pooled.observation_time == pytest.approx(180.0)
+        assert pooled.mistake_rate == pytest.approx(5 / 180.0)
+        assert not math.isnan(pooled.e_tm)

@@ -1,0 +1,145 @@
+"""Tests for the Theorem 1 identities — heavily property-based."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import InvalidParameterError
+from repro.metrics.relations import (
+    derived_metrics,
+    forward_good_period_cdf,
+    forward_good_period_mean,
+    forward_good_period_moment,
+    good_period_mean,
+    mistake_rate,
+    query_accuracy,
+)
+
+tg_arrays = hnp.arrays(
+    dtype=float,
+    shape=st.integers(min_value=2, max_value=64),
+    elements=st.floats(min_value=0.01, max_value=1e4),
+)
+
+
+class TestBasicIdentities:
+    def test_mistake_rate(self):
+        assert mistake_rate(100.0) == pytest.approx(0.01)
+        assert mistake_rate(math.inf) == 0.0
+        with pytest.raises(InvalidParameterError):
+            mistake_rate(0.0)
+
+    def test_query_accuracy(self):
+        assert query_accuracy(100.0, 75.0) == pytest.approx(0.75)
+        assert query_accuracy(math.inf, 10.0) == 1.0
+        with pytest.raises(InvalidParameterError):
+            query_accuracy(10.0, -1.0)
+
+    def test_good_period_mean(self):
+        assert good_period_mean(10.0, 4.0) == pytest.approx(6.0)
+        with pytest.raises(InvalidParameterError):
+            good_period_mean(4.0, 10.0)
+
+    def test_derived_metrics_consistency(self):
+        d = derived_metrics(e_tmr=20.0, e_tm=5.0, v_tg=0.0)
+        assert d.e_tg == pytest.approx(15.0)
+        assert d.mistake_rate == pytest.approx(0.05)
+        assert d.query_accuracy == pytest.approx(0.75)
+        assert d.e_tfg == pytest.approx(7.5)
+
+
+class TestForwardGoodPeriod:
+    """Theorem 1.3 — the waiting-time paradox."""
+
+    def test_deterministic_good_periods(self):
+        """With constant T_G the paradox vanishes: E(T_FG) = E(T_G)/2."""
+        assert forward_good_period_mean(10.0, 0.0) == pytest.approx(5.0)
+
+    def test_zero_good_period(self):
+        assert forward_good_period_mean(0.0, 123.0) == 0.0
+
+    @given(tg=tg_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_paradox_lower_bound(self, tg):
+        """E(T_FG) ≥ E(T_G)/2, with equality iff V(T_G) = 0."""
+        e = float(tg.mean())
+        v = float(tg.var())
+        assert forward_good_period_mean(e, v) >= e / 2.0 - 1e-12
+
+    @given(tg=tg_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_moment_formula_k1_matches_mean_formula(self, tg):
+        """E(T_FG) via 3b (k=1) equals 3c computed from sample moments."""
+        via_moment = forward_good_period_moment(1, tg)
+        e = float(tg.mean())
+        v = float(tg.var())  # population variance matches E(T_G^2)/E - form
+        via_mean = forward_good_period_mean(e, v)
+        assert via_moment == pytest.approx(via_mean, rel=1e-9)
+
+    @given(tg=tg_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_cdf_properties(self, tg):
+        """Pr(T_FG ≤ x) is a valid CDF hitting 1 at max(T_G)."""
+        xs = np.linspace(0.0, float(tg.max()), 33)
+        cdf = np.asarray(forward_good_period_cdf(xs, tg))
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[0] == pytest.approx(0.0, abs=1e-12)
+        assert cdf[-1] == pytest.approx(1.0, abs=1e-9)
+
+    @given(tg=tg_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_integrates_to_mean(self, tg):
+        """∫ (1 − F_TFG) dx over the support equals E(T_FG) (3b, k=1).
+
+        ``1 − F(x) = E[(T_G − x)⁺]/E(T_G)`` is piecewise *linear* between
+        sorted sample values, so the trapezoid rule on exactly those
+        breakpoints is exact.
+        """
+        xs = np.unique(np.concatenate([[0.0], np.sort(tg)]))
+        sf = 1.0 - np.asarray(forward_good_period_cdf(xs, tg))
+        integral = np.trapezoid(sf, xs)
+        assert integral == pytest.approx(
+            forward_good_period_moment(1, tg), rel=1e-9
+        )
+
+    def test_cdf_exponential_good_periods(self, rng):
+        """For exponential T_G, T_FG is exponential with the same mean
+        (memorylessness) — a classical sanity check of 3a."""
+        tg = rng.exponential(5.0, 200_000)
+        xs = np.array([1.0, 5.0, 10.0])
+        cdf = np.asarray(forward_good_period_cdf(xs, tg))
+        expected = 1.0 - np.exp(-xs / 5.0)
+        np.testing.assert_allclose(cdf, expected, atol=0.01)
+
+    def test_moment_validation(self):
+        with pytest.raises(InvalidParameterError):
+            forward_good_period_moment(0, np.array([1.0]))
+        with pytest.raises(InvalidParameterError):
+            forward_good_period_moment(1, np.array([]))
+
+
+class TestMonteCarloParadox:
+    """Simulate the 'random observer' directly and check Theorem 1.3c."""
+
+    @pytest.mark.slow
+    def test_random_observer_sees_e_tfg(self, rng):
+        # Alternate good periods (heavy-tailed) and fixed mistakes.
+        tg = rng.pareto(3.0, 30_000) + 0.5
+        starts = np.concatenate([[0.0], np.cumsum(tg)[:-1]])
+        total = float(starts[-1] + tg[-1])
+        # Sample random times inside good periods only.
+        t = rng.uniform(0.0, total, 200_000)
+        idx = np.searchsorted(starts, t, side="right") - 1
+        remaining = starts[idx] + tg[idx] - t
+        predicted = forward_good_period_mean(
+            float(tg.mean()), float(tg.var())
+        )
+        assert remaining.mean() == pytest.approx(predicted, rel=0.03)
+        # and it exceeds the naive E(T_G)/2 markedly for a heavy tail
+        assert remaining.mean() > 0.55 * tg.mean()

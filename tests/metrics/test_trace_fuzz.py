@@ -1,0 +1,128 @@
+"""Hypothesis fuzzing of the OutputTrace invariants.
+
+Random transition histories must always satisfy the structural
+invariants the metric estimators rely on — whatever the timing pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.qos import estimate_accuracy
+from repro.metrics.transitions import SUSPECT, TRUST, OutputTrace
+
+# Random alternating-ish histories: (delta_t, output) steps; same-output
+# records exercise the no-op path, zero deltas the same-instant path.
+steps = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0),
+        st.sampled_from([TRUST, SUSPECT]),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+def build(initial, step_list, tail):
+    trace = OutputTrace(start_time=0.0, initial_output=initial)
+    now = 0.0
+    for dt, out in step_list:
+        now += dt
+        trace.record(now, out)
+    return trace.close(now + tail)
+
+
+@given(
+    initial=st.sampled_from([TRUST, SUSPECT]),
+    step_list=steps,
+    tail=st.floats(min_value=0.0, max_value=10.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_occupancy_partitions_duration(initial, step_list, tail):
+    trace = build(initial, step_list, tail)
+    total = trace.time_in_output(TRUST) + trace.time_in_output(SUSPECT)
+    assert total == pytest.approx(trace.duration, abs=1e-6)
+    pa = trace.empirical_query_accuracy()
+    assert -1e-9 <= pa <= 1 + 1e-9
+
+
+@given(
+    initial=st.sampled_from([TRUST, SUSPECT]),
+    step_list=steps,
+    tail=st.floats(min_value=0.0, max_value=10.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_transitions_strictly_alternate(initial, step_list, tail):
+    trace = build(initial, step_list, tail)
+    outputs = [initial] + [t.kind.new_output for t in trace.transitions]
+    for a, b in zip(outputs, outputs[1:]):
+        assert a != b
+
+
+@given(
+    initial=st.sampled_from([TRUST, SUSPECT]),
+    step_list=steps,
+    tail=st.floats(min_value=0.0, max_value=10.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_interval_decompositions_consistent(initial, step_list, tail):
+    trace = build(initial, step_list, tail)
+    s_count = trace.s_transition_times.size
+    t_count = trace.t_transition_times.size
+    # Alternation bounds the counts.
+    assert abs(s_count - t_count) <= 1
+    tmr = trace.mistake_recurrence_samples()
+    tm = trace.mistake_duration_samples()
+    tg = trace.good_period_samples()
+    assert tmr.size == max(0, s_count - 1)
+    assert np.all(tmr >= 0)
+    assert np.all(tm >= 0)
+    assert np.all(tg >= 0)
+    # The recurrence intervals tile the span between the first and the
+    # last S-transition exactly.
+    if tmr.size:
+        s_times = trace.s_transition_times
+        assert tmr.sum() == pytest.approx(
+            s_times[-1] - s_times[0], abs=1e-6
+        )
+
+
+@given(
+    initial=st.sampled_from([TRUST, SUSPECT]),
+    step_list=steps,
+    tail=st.floats(min_value=0.0, max_value=10.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_estimator_never_crashes_and_respects_ranges(
+    initial, step_list, tail
+):
+    trace = build(initial, step_list, tail)
+    est = estimate_accuracy(trace)
+    import math
+
+    for value in (est.e_tmr, est.e_tm, est.e_tg, est.e_tfg):
+        assert math.isnan(value) or value >= 0
+    assert math.isnan(est.query_accuracy) or (
+        -1e-9 <= est.query_accuracy <= 1 + 1e-9
+    )
+    assert est.n_mistakes >= 0
+
+
+@given(
+    initial=st.sampled_from([TRUST, SUSPECT]),
+    step_list=steps,
+    tail=st.floats(min_value=0.0, max_value=10.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_serialization_round_trip_fuzz(initial, step_list, tail):
+    from repro.metrics.io import trace_from_dict, trace_to_dict
+
+    trace = build(initial, step_list, tail)
+    restored = trace_from_dict(trace_to_dict(trace))
+    assert restored.n_transitions == trace.n_transitions
+    assert restored.empirical_query_accuracy() == pytest.approx(
+        trace.empirical_query_accuracy(), abs=1e-9
+    )

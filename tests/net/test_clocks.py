@@ -1,0 +1,76 @@
+"""Tests for the clock models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.net.clocks import DriftingClock, PerfectClock, SkewedClock
+
+
+class TestPerfectClock:
+    def test_identity(self):
+        c = PerfectClock()
+        assert c.local_time(5.0) == 5.0
+        assert c.real_time(5.0) == 5.0
+
+
+class TestSkewedClock:
+    def test_constant_offset(self):
+        c = SkewedClock(3.5)
+        assert c.local_time(10.0) == 13.5
+        assert c.real_time(13.5) == 10.0
+        assert c.skew == 3.5
+
+    def test_intervals_preserved(self):
+        """Drift-free clocks measure intervals exactly (Section 6's need)."""
+        c = SkewedClock(-100.0)
+        assert c.local_time(7.0) - c.local_time(2.0) == pytest.approx(5.0)
+
+    def test_skew_invariance_of_delay_variance(self, rng):
+        """The Section 6.2.2 observation: Var(A − S) is skew-invariant."""
+        delays = rng.exponential(0.02, 5000)
+        send_real = np.cumsum(rng.uniform(0.5, 1.5, 5000))
+        receive_real = send_real + delays
+        q_clock = SkewedClock(12345.678)
+        samples = np.array(
+            [q_clock.local_time(r) for r in receive_real]
+        ) - send_real  # sender timestamps in real (= p-local) time
+        assert samples.var(ddof=1) == pytest.approx(
+            delays.var(ddof=1), rel=1e-9
+        )
+        # ... while the mean shifts by exactly the skew.
+        assert samples.mean() == pytest.approx(
+            delays.mean() + 12345.678, rel=1e-9
+        )
+
+
+class TestDriftingClock:
+    def test_rate_and_skew(self):
+        c = DriftingClock(skew=1.0, drift=1e-3)
+        assert c.local_time(1000.0) == pytest.approx(1.0 + 1001.0)
+        assert c.real_time(c.local_time(123.0)) == pytest.approx(123.0)
+
+    def test_rejects_stopped_clock(self):
+        with pytest.raises(InvalidParameterError):
+            DriftingClock(drift=-1.0)
+
+    def test_zero_drift_is_skewed_clock(self):
+        d = DriftingClock(skew=2.0, drift=0.0)
+        s = SkewedClock(2.0)
+        for t in (0.0, 1.0, 100.0):
+            assert d.local_time(t) == s.local_time(t)
+
+
+@given(
+    skew=st.floats(min_value=-1e6, max_value=1e6),
+    drift=st.floats(min_value=-0.5, max_value=0.5),
+    t=st.floats(min_value=0.0, max_value=1e6),
+)
+@settings(max_examples=80, deadline=None)
+def test_round_trip_property(skew, drift, t):
+    c = DriftingClock(skew=skew, drift=drift)
+    assert c.real_time(c.local_time(t)) == pytest.approx(t, abs=1e-6, rel=1e-9)

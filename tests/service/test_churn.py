@@ -1,0 +1,86 @@
+"""Randomized churn stress: the membership view must track the truth.
+
+A long random schedule of joins, crashes, restarts and removals runs
+against the monitoring service; after every quiescent period the
+membership view must equal exactly the set of live, monitored
+processes — and the view id must keep increasing monotonically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.nfd_s import NFDS
+from repro.net.delays import ConstantDelay
+from repro.service.membership import GroupMembership
+from repro.service.monitor_service import MonitorService
+from repro.sim.engine import Simulator
+
+ETA, DELTA = 1.0, 0.5
+SETTLE = 3 * (ETA + DELTA)  # long enough for joins and detections
+
+
+def new_detector():
+    return NFDS(eta=ETA, delta=DELTA)
+
+
+@pytest.mark.slow
+def test_membership_tracks_truth_under_random_churn():
+    rng = np.random.default_rng(20260707)
+    sim = Simulator()
+    svc = MonitorService(sim, seed=1)
+    membership = GroupMembership(svc)
+    svc.start()
+
+    live = set()
+    ever = 0
+    crashed = set()
+    last_view_id = 0
+
+    def add(name):
+        svc.add_process(
+            name,
+            new_detector(),
+            eta=ETA,
+            delay=ConstantDelay(0.05),
+        )
+        live.add(name)
+
+    for step in range(60):
+        action = rng.choice(["join", "crash", "restart", "remove", "wait"])
+        if action == "join" or not live:
+            ever += 1
+            add(f"p{ever}")
+        elif action == "crash":
+            victim = sorted(live)[int(rng.integers(len(live)))]
+            svc.crash(victim)
+            live.discard(victim)
+            crashed.add(victim)
+        elif action == "restart" and crashed:
+            name = sorted(crashed)[int(rng.integers(len(crashed)))]
+            crashed.discard(name)
+            svc.restart_process(
+                name,
+                new_detector(),
+                eta=ETA,
+                delay=ConstantDelay(0.05),
+            )
+            live.add(name)
+        elif action == "remove":
+            victim = sorted(live)[int(rng.integers(len(live)))]
+            svc.remove_process(victim)
+            live.discard(victim)
+        # Let the system settle, then check the invariants.
+        sim.run_until(sim.now + SETTLE)
+        assert membership.view.members == frozenset(live), (
+            f"step {step}, action {action}"
+        )
+        assert svc.trusted_set() == frozenset(live)
+        assert membership.view.view_id >= last_view_id
+        last_view_id = membership.view.view_id
+
+    # With deterministic links no suspicion was ever spurious.
+    assert membership.spurious_change_count == 0
+    for trace in svc.finish().values():
+        assert trace.closed

@@ -1,0 +1,95 @@
+"""Tests for the group-membership layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.nfd_s import NFDS
+from repro.net.delays import ConstantDelay, ExponentialDelay
+from repro.service.membership import GroupMembership
+from repro.service.monitor_service import MonitorService
+from repro.sim.engine import Simulator
+
+
+def build(names=("a", "b", "c"), seed=0):
+    sim = Simulator()
+    svc = MonitorService(sim, seed=seed)
+    for name in names:
+        svc.add_process(
+            name,
+            NFDS(eta=1.0, delta=0.5),
+            eta=1.0,
+            delay=ConstantDelay(0.1),
+        )
+    membership = GroupMembership(svc)
+    return sim, svc, membership
+
+
+class TestViews:
+    def test_initial_view_empty(self):
+        _, _, m = build()
+        assert m.view.view_id == 0
+        assert len(m.view) == 0
+
+    def test_processes_join_when_trusted(self):
+        sim, svc, m = build()
+        svc.start()
+        sim.run_until(10.0)
+        assert m.view.members == {"a", "b", "c"}
+        assert m.view_change_count == 3
+
+    def test_crash_removes_member(self):
+        sim, svc, m = build()
+        svc.start()
+        sim.run_until(10.0)
+        svc.crash("b")
+        sim.run_until(20.0)
+        assert m.view.members == {"a", "c"}
+        assert "b" not in m.view
+        # a real crash is not a spurious change
+        assert m.spurious_change_count == 0
+
+    def test_view_ids_monotone(self):
+        sim, svc, m = build()
+        svc.start()
+        sim.run_until(10.0)
+        ids = [v.view_id for v in m.history]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_listeners_see_joins_and_leaves(self):
+        sim, svc, m = build()
+        events = []
+        m.subscribe(events.append)
+        svc.start()
+        sim.run_until(10.0)
+        svc.crash("a")
+        sim.run_until(20.0)
+        joins = [e for e in events if e.joined]
+        leaves = [e for e in events if e.left]
+        assert {next(iter(e.joined)) for e in joins} == {"a", "b", "c"}
+        assert [next(iter(e.left)) for e in leaves] == ["a"]
+
+    def test_spurious_changes_counted(self):
+        """A flaky link on a live process causes spurious view changes —
+        the cost the QoS contract's T_MR^L bounds."""
+        sim = Simulator()
+        svc = MonitorService(sim, seed=9)
+        svc.add_process(
+            "live-but-flaky",
+            NFDS(eta=1.0, delta=0.2),
+            eta=1.0,
+            delay=ExponentialDelay(0.4),
+            loss_probability=0.3,
+        )
+        m = GroupMembership(svc)
+        svc.start()
+        sim.run_until(300.0)
+        assert m.spurious_change_count > 0
+
+    def test_removed_process_leaves_view(self):
+        sim, svc, m = build()
+        svc.start()
+        sim.run_until(10.0)
+        svc.remove_process("c")
+        assert m.view.members == {"a", "b"}

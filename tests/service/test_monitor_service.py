@@ -1,0 +1,146 @@
+"""Tests for the multi-process monitoring service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.nfd_s import NFDS
+from repro.errors import InvalidParameterError, SimulationError
+from repro.net.delays import ConstantDelay, ExponentialDelay
+from repro.service.monitor_service import MonitorService
+from repro.sim.engine import Simulator
+
+
+def add(service, name, eta=1.0, delta=0.5, delay=None, loss=0.0):
+    return service.add_process(
+        name,
+        NFDS(eta=eta, delta=delta),
+        eta=eta,
+        delay=delay if delay is not None else ConstantDelay(0.1),
+        loss_probability=loss,
+    )
+
+
+class TestRegistration:
+    def test_add_and_query(self):
+        sim = Simulator()
+        svc = MonitorService(sim)
+        add(svc, "alpha")
+        add(svc, "beta")
+        assert svc.process_names == ("alpha", "beta")
+        assert svc.output("alpha") == "S"  # not started yet: initial S
+
+    def test_duplicate_name_rejected(self):
+        svc = MonitorService(Simulator())
+        add(svc, "alpha")
+        with pytest.raises(InvalidParameterError):
+            add(svc, "alpha")
+
+    def test_unknown_process(self):
+        svc = MonitorService(Simulator())
+        with pytest.raises(InvalidParameterError):
+            svc.output("ghost")
+
+    def test_double_start_rejected(self):
+        svc = MonitorService(Simulator())
+        svc.start()
+        with pytest.raises(SimulationError):
+            svc.start()
+
+
+class TestOperation:
+    def test_all_trusted_in_steady_state(self):
+        sim = Simulator()
+        svc = MonitorService(sim)
+        for name in ("a", "b", "c"):
+            add(svc, name)
+        svc.start()
+        sim.run_until(50.0)
+        assert svc.trusted_set() == {"a", "b", "c"}
+        assert svc.suspected_set() == frozenset()
+
+    def test_crash_detected_only_for_crashed(self):
+        sim = Simulator()
+        svc = MonitorService(sim)
+        for name in ("a", "b", "c"):
+            add(svc, name)
+        svc.start()
+        sim.run_until(20.0)
+        svc.crash("b")
+        sim.run_until(40.0)
+        assert svc.trusted_set() == {"a", "c"}
+        assert svc.suspected_set() == {"b"}
+        assert svc.process("b").crashed
+
+    def test_events_published_to_listeners(self):
+        sim = Simulator()
+        svc = MonitorService(sim)
+        add(svc, "a")
+        events = []
+        svc.subscribe(events.append)
+        svc.start()
+        sim.run_until(5.0)
+        assert any(e.process == "a" and e.output == "T" for e in events)
+
+    def test_per_process_events_recorded(self):
+        sim = Simulator()
+        svc = MonitorService(sim)
+        proc = add(svc, "a")
+        svc.start()
+        sim.run_until(5.0)
+        assert proc.events
+        assert proc.events[0].output == "T"
+
+    def test_late_join(self):
+        """A process added after start gets monitored immediately."""
+        sim = Simulator()
+        svc = MonitorService(sim)
+        add(svc, "early")
+        svc.start()
+        sim.run_until(10.0)
+        add(svc, "late")
+        sim.run_until(20.0)
+        assert "late" in svc.trusted_set()
+
+    def test_remove_publishes_departure(self):
+        sim = Simulator()
+        svc = MonitorService(sim)
+        add(svc, "a")
+        events = []
+        svc.subscribe(events.append)
+        svc.start()
+        sim.run_until(5.0)
+        svc.remove_process("a")
+        assert events[-1].output == "S"
+        assert svc.process_names == ()
+
+    def test_finish_returns_traces(self):
+        sim = Simulator()
+        svc = MonitorService(sim)
+        add(svc, "a")
+        add(svc, "b")
+        svc.start()
+        sim.run_until(10.0)
+        traces = svc.finish()
+        assert set(traces) == {"a", "b"}
+        for trace in traces.values():
+            assert trace.closed
+            assert trace.end_time == 10.0
+
+    def test_independent_links(self):
+        """A lossy process flaps; a clean one does not."""
+        sim = Simulator()
+        svc = MonitorService(sim, seed=4)
+        add(svc, "clean", delay=ConstantDelay(0.05))
+        add(
+            svc,
+            "flaky",
+            delay=ExponentialDelay(0.4),
+            loss=0.3,
+            delta=0.2,
+        )
+        svc.start()
+        sim.run_until(300.0)
+        traces = svc.finish()
+        assert len(traces["clean"].s_transition_times) == 0
+        assert len(traces["flaky"].s_transition_times) > 5

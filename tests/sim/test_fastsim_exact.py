@@ -1,0 +1,232 @@
+"""Exact (not statistical) fastsim ↔ event-driven cross-validation.
+
+A replay 'distribution' feeds the *same* per-message delays to the
+vectorized simulator and to the event-driven detectors, so their output
+traces must match transition-for-transition (not just in expectation).
+This pins down the fastsim semantics far harder than moment comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.nfd_e import NFDE
+from repro.core.nfd_s import NFDS
+from repro.core.nfd_u import NFDU
+from repro.core.simple import SimpleFD
+from repro.net.delays import DelayDistribution
+from repro.sim.engine import Simulator
+from repro.sim.fastsim import (
+    simulate_nfde_fast,
+    simulate_nfds_fast,
+    simulate_nfdu_fast,
+    simulate_sfd_fast,
+)
+from repro.sim.monitor import DetectorHost
+
+
+class ReplayDelay(DelayDistribution):
+    """Replays a fixed sequence of delays, in order, across sample() calls."""
+
+    def __init__(self, delays: np.ndarray) -> None:
+        self._delays = np.asarray(delays, dtype=float)
+        self._pos = 0
+
+    @property
+    def mean(self) -> float:
+        return float(self._delays.mean())
+
+    @property
+    def variance(self) -> float:
+        return float(self._delays.var())
+
+    def cdf(self, x):  # pragma: no cover - not used by fastsim
+        return np.clip(
+            np.searchsorted(np.sort(self._delays), x, side="right")
+            / self._delays.size,
+            0,
+            1,
+        )
+
+    def sample(self, rng, size: int) -> np.ndarray:
+        out = self._delays[self._pos : self._pos + size]
+        if out.size < size:
+            raise RuntimeError("replay exhausted")
+        self._pos += size
+        return out.copy()
+
+    def reset(self) -> "ReplayDelay":
+        self._pos = 0
+        return self
+
+
+def run_event_driven(detector, delays, eta, horizon):
+    """Drive a detector with arrivals A_j = j*eta + delays[j-1]."""
+    sim = Simulator()
+    host = DetectorHost(sim, detector)
+    host.start()
+    for j, d in enumerate(delays, start=1):
+        if np.isfinite(d):
+            sim.schedule_at(
+                j * eta + float(d),
+                lambda s=j, t=j * eta: host.deliver(s, t),
+            )
+    sim.run_until(horizon)
+    return host.finish()
+
+
+def random_delays(rng, n, mean, loss):
+    d = rng.exponential(mean, n)
+    d[rng.random(n) < loss] = np.inf
+    return d
+
+
+@pytest.mark.slow
+class TestExactAgreement:
+    """Transition-for-transition agreement on replayed workloads."""
+
+    def test_nfds_exact(self, rng):
+        eta, delta = 1.0, 1.3
+        n = 5_000
+        delays = random_delays(rng, n, 0.3, 0.1)
+        fast = simulate_nfds_fast(
+            eta,
+            delta,
+            0.0,  # losses are already inf in the replayed delays
+            ReplayDelay(delays),
+            target_mistakes=10**9,
+            max_heartbeats=n,
+            chunk_size=613,  # deliberately awkward chunking
+        )
+        trace = run_event_driven(
+            NFDS(eta=eta, delta=delta), delays, eta, horizon=(n + 3) * eta
+        )
+        # Compare S-transition times after steady state (τ_1).
+        des_s = trace.s_transition_times
+        des_s = des_s[des_s > eta + delta]
+        fast_s = fast.s_transition_times
+        # fastsim processes windows 1..n-k; trim the DES tail past that.
+        limit = (n - 2) * eta + delta
+        np.testing.assert_allclose(
+            fast_s[fast_s < limit], des_s[des_s < limit], atol=1e-9
+        )
+
+    def test_nfds_mistake_durations_exact(self, rng):
+        eta, delta = 1.0, 0.7
+        n = 5_000
+        delays = random_delays(rng, n, 0.4, 0.15)
+        fast = simulate_nfds_fast(
+            eta,
+            delta,
+            0.0,
+            ReplayDelay(delays),
+            target_mistakes=10**9,
+            max_heartbeats=n,
+            chunk_size=977,
+        )
+        trace = run_event_driven(
+            NFDS(eta=eta, delta=delta), delays, eta, horizon=(n + 3) * eta
+        )
+        # Pair durations by their S-transition start times.
+        starts = trace.s_transition_times
+        durations = trace.mistake_duration_samples()
+        des = {
+            round(float(s), 9): float(d)
+            for s, d in zip(starts[: durations.size], durations)
+        }
+        matched = 0
+        for s, d in zip(fast.s_transition_times, fast.mistake_durations):
+            key = round(float(s), 9)
+            if key in des:
+                assert d == pytest.approx(des[key], abs=1e-9)
+                matched += 1
+        assert matched >= fast.n_mistakes - 2  # boundary effects only
+
+    def test_nfdu_exact(self, rng):
+        eta, alpha, offset = 1.0, 0.5, 0.25
+        n = 4_000
+        delays = random_delays(rng, n, 0.3, 0.1)
+        fast = simulate_nfdu_fast(
+            eta,
+            alpha,
+            0.0,
+            ReplayDelay(delays),
+            ea_offset=offset,
+            target_mistakes=10**9,
+            max_heartbeats=n,
+            chunk_size=499,
+        )
+        det = NFDU(
+            eta=eta,
+            alpha=alpha,
+            expected_arrival=lambda i: i * eta + offset,
+        )
+        trace = run_event_driven(det, delays, eta, horizon=(n + 3) * eta)
+        des_s = trace.s_transition_times
+        # fastsim starts accounting at its warmup receipt; compare on the
+        # overlap, ending before the stream tail.
+        start = float(fast.s_transition_times[0]) - 1e-9
+        limit = (n - 2) * eta
+        des_s = des_s[(des_s >= start) & (des_s < limit)]
+        fast_s = fast.s_transition_times
+        fast_s = fast_s[fast_s < limit]
+        np.testing.assert_allclose(fast_s, des_s, atol=1e-9)
+
+    def test_nfde_exact(self, rng):
+        eta, alpha, window = 1.0, 0.6, 16
+        n = 4_000
+        delays = random_delays(rng, n, 0.25, 0.08)
+        fast = simulate_nfde_fast(
+            eta,
+            alpha,
+            0.0,
+            ReplayDelay(delays),
+            window=window,
+            target_mistakes=10**9,
+            max_heartbeats=n,
+            chunk_size=737,
+        )
+        det = NFDE(eta=eta, alpha=alpha, window=window)
+        trace = run_event_driven(det, delays, eta, horizon=(n + 3) * eta)
+        des_s = trace.s_transition_times
+        if fast.n_mistakes == 0:
+            return
+        start = float(fast.s_transition_times[0]) - 1e-9
+        limit = (n - 2) * eta
+        des_s = des_s[(des_s >= start) & (des_s < limit)]
+        fast_s = fast.s_transition_times
+        fast_s = fast_s[fast_s < limit]
+        np.testing.assert_allclose(fast_s, des_s, atol=1e-6)
+
+    def test_sfd_exact(self, rng):
+        eta, timeout, cutoff = 1.0, 1.4, 0.8
+        n = 4_000
+        delays = random_delays(rng, n, 0.4, 0.1)
+        fast = simulate_sfd_fast(
+            eta,
+            timeout,
+            0.0,
+            ReplayDelay(delays),
+            cutoff=cutoff,
+            target_mistakes=10**9,
+            max_heartbeats=n,
+            chunk_size=311,
+        )
+        trace = run_event_driven(
+            SimpleFD(timeout=timeout, cutoff=cutoff),
+            delays,
+            eta,
+            horizon=(n + 3) * eta,
+        )
+        des_s = trace.s_transition_times
+        # DES records the initial pre-first-heartbeat suspicion as the
+        # initial output, not an S-transition, so the arrays align
+        # directly; trim tails past the last mature arrival.
+        limit = (n - 1) * eta
+        des_s = des_s[des_s < limit]
+        fast_s = fast.s_transition_times
+        fast_s = fast_s[fast_s < limit]
+        np.testing.assert_allclose(
+            fast_s, des_s[: fast_s.size], atol=1e-9
+        )

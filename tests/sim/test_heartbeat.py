@@ -1,0 +1,130 @@
+"""Tests for the heartbeat sender and crash injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.net.clocks import SkewedClock
+from repro.net.delays import ConstantDelay
+from repro.net.link import LossyLink
+from repro.sim.engine import Simulator
+from repro.sim.heartbeat import HeartbeatSender
+
+
+def build(eta=1.0, delay=0.1, crash=None, clock=None, first_seq=1, origin=None):
+    sim = Simulator()
+    link = LossyLink(ConstantDelay(delay), rng=np.random.default_rng(0))
+    received = []
+    sender = HeartbeatSender(
+        sim,
+        link,
+        eta=eta,
+        deliver=lambda seq, t: received.append((sim.now, seq, t)),
+        clock=clock,
+        crash_time=crash,
+        first_seq=first_seq,
+        origin=origin,
+    )
+    return sim, sender, received
+
+
+class TestSendSchedule:
+    def test_paper_send_times(self):
+        """m_i is sent at σ_i = i·η (Fig. 6, line 1)."""
+        sim, sender, received = build(eta=2.0, delay=0.5)
+        sender.start()
+        sim.run_until(10.0)
+        # sends at 2,4,6,8,10 -> arrivals at 2.5,...; 10's arrival at 10.5
+        assert [seq for _, seq, _ in received] == [1, 2, 3, 4]
+        assert [t for t, _, _ in received] == pytest.approx(
+            [2.5, 4.5, 6.5, 8.5]
+        )
+        assert [s for _, _, s in received] == pytest.approx(
+            [2.0, 4.0, 6.0, 8.0]
+        )
+
+    def test_custom_origin_and_first_seq(self):
+        sim, sender, received = build(
+            eta=1.0, delay=0.1, first_seq=10, origin=5.0
+        )
+        sender.start()
+        sim.run_until(8.0)
+        assert [seq for _, seq, _ in received] == [10, 11, 12]
+        assert [t for t, _, _ in received] == pytest.approx([5.1, 6.1, 7.1])
+
+    def test_skewed_sender_clock(self):
+        """σ_i is in p's local clock; real sends shift by −skew."""
+        sim, sender, received = build(eta=1.0, delay=0.1, clock=SkewedClock(0.5))
+        sender.start()
+        sim.run_until(3.0)
+        # p-local 1.0 is real 0.5; sends at real 0.5, 1.5, 2.5.
+        assert [t for t, _, _ in received] == pytest.approx([0.6, 1.6, 2.6])
+        # ... but the carried timestamp is p-local.
+        assert [s for _, _, s in received] == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_validation(self):
+        sim = Simulator()
+        link = LossyLink(ConstantDelay(0.1))
+        with pytest.raises(InvalidParameterError):
+            HeartbeatSender(sim, link, eta=0.0, deliver=lambda s, t: None)
+        with pytest.raises(InvalidParameterError):
+            HeartbeatSender(
+                sim, link, eta=1.0, deliver=lambda s, t: None, first_seq=0
+            )
+
+    def test_double_start_rejected(self):
+        sim, sender, _ = build()
+        sender.start()
+        with pytest.raises(InvalidParameterError):
+            sender.start()
+
+
+class TestCrash:
+    def test_no_sends_after_crash(self):
+        sim, sender, received = build(eta=1.0, delay=0.1, crash=3.5)
+        sender.start()
+        sim.run_until(10.0)
+        assert [seq for _, seq, _ in received] == [1, 2, 3]
+        assert sender.sent_count == 3
+
+    def test_in_flight_message_still_delivered(self):
+        """Section 3.1: message fates are independent of the crash."""
+        sim, sender, received = build(eta=1.0, delay=0.4, crash=3.1)
+        sender.start()
+        sim.run_until(10.0)
+        # m_3 sent at 3.0 (before crash at 3.1) arrives at 3.4.
+        assert [seq for _, seq, _ in received] == [1, 2, 3]
+        assert received[-1][0] == pytest.approx(3.4)
+
+    def test_crash_at_runtime(self):
+        sim, sender, received = build(eta=1.0, delay=0.1)
+        sender.start()
+        sim.schedule_at(2.5, lambda: sender.crash_at(2.5))
+        sim.run_until(10.0)
+        assert [seq for _, seq, _ in received] == [1, 2]
+
+    def test_crash_in_past_rejected(self):
+        sim, sender, _ = build()
+        sender.start()
+        sim.run_until(5.0)
+        with pytest.raises(InvalidParameterError):
+            sender.crash_at(4.0)
+
+    def test_stop_halts_future_sends(self):
+        sim, sender, received = build(eta=1.0, delay=0.1)
+        sender.start()
+        sim.schedule_at(2.2, sender.stop)
+        sim.run_until(10.0)
+        assert [seq for _, seq, _ in received] == [1, 2]
+        assert sender.next_seq == 3
+
+    def test_crash_suppresses_already_armed_send(self):
+        """Moving the crash earlier must cancel the armed next send."""
+        sim, sender, received = build(eta=1.0, delay=0.1)
+        sender.start()
+        # At t=0.5 the send for t=1.0 is already armed; crash at 0.9.
+        sim.schedule_at(0.5, lambda: sender.crash_at(0.9))
+        sim.run_until(10.0)
+        assert received == []

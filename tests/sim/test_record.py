@@ -1,0 +1,99 @@
+"""Tests for run provenance records."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.nfd_s import NFDS
+from repro.errors import InvalidParameterError
+from repro.net.delays import ExponentialDelay
+from repro.sim.record import RunRecord
+from repro.sim.runner import SimulationConfig, run_failure_free
+
+
+def make_record():
+    config = SimulationConfig(
+        eta=1.0,
+        delay=ExponentialDelay(0.3),
+        loss_probability=0.05,
+        horizon=500.0,
+        warmup=5.0,
+        seed=9,
+    )
+    detector = NFDS(eta=1.0, delta=0.5)
+    result = run_failure_free(lambda: NFDS(eta=1.0, delta=0.5), config)
+    return RunRecord(
+        experiment="adhoc",
+        detector=detector.describe(),
+        network={
+            "delay": "exponential",
+            "mean": 0.3,
+            "variance": 0.09,
+            "loss": 0.05,
+        },
+        parameters={"eta": 1.0, "delta": 0.5, "horizon": 500.0, "seed": 9},
+        accuracy=result.accuracy,
+        extras={"heartbeats": result.heartbeats_sent},
+    )
+
+
+class TestRunRecord:
+    def test_versions_stamped_automatically(self):
+        record = make_record()
+        assert record.library_version == repro.__version__
+        assert record.python_version
+
+    def test_round_trip(self):
+        record = make_record()
+        restored = RunRecord.from_dict(record.to_dict())
+        assert restored.detector == record.detector
+        assert restored.parameters == record.parameters
+        assert restored.accuracy.n_mistakes == record.accuracy.n_mistakes
+        assert restored.extras["heartbeats"] == record.extras["heartbeats"]
+
+    def test_file_round_trip(self, tmp_path):
+        record = make_record()
+        path = tmp_path / "runs" / "r1.json"
+        record.save(path)
+        restored = RunRecord.load(path)
+        assert restored.experiment == "adhoc"
+        assert restored.accuracy.e_tmr == pytest.approx(
+            record.accuracy.e_tmr, nan_ok=True
+        )
+
+    def test_record_without_accuracy(self):
+        record = RunRecord(
+            experiment="config-only",
+            detector="NFD-S(eta=1, delta=2)",
+            network={},
+            parameters={"eta": 1.0},
+        )
+        restored = RunRecord.from_dict(record.to_dict())
+        assert restored.accuracy is None
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RunRecord.from_dict({"format": "nope"})
+
+    def test_reproducibility_claim_holds(self):
+        """The point of provenance: re-running with the recorded
+        parameters reproduces the recorded numbers exactly."""
+        record = make_record()
+        config = SimulationConfig(
+            eta=record.parameters["eta"],
+            delay=ExponentialDelay(record.network["mean"]),
+            loss_probability=record.network["loss"],
+            horizon=record.parameters["horizon"],
+            warmup=5.0,
+            seed=record.parameters["seed"],
+        )
+        rerun = run_failure_free(
+            lambda: NFDS(
+                eta=record.parameters["eta"],
+                delta=record.parameters["delta"],
+            ),
+            config,
+        )
+        assert rerun.accuracy.n_mistakes == record.accuracy.n_mistakes
+        assert rerun.accuracy.query_accuracy == record.accuracy.query_accuracy

@@ -1,0 +1,131 @@
+"""End-to-end certification round trips.
+
+The library's central promise, exercised whole: *a contract handed to a
+configurator yields a detector whose measured behaviour satisfies the
+contract* — across clock regimes, configurators, and detector variants.
+These are the tests a downstream adopter cares about most.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.configurator import configure_nfds
+from repro.analysis.configurator_nfdu import configure_nfdu
+from repro.analysis.configurator_unknown import configure_nfds_unknown
+from repro.core.nfd_e import NFDE
+from repro.core.nfd_s import NFDS
+from repro.metrics.qos import QoSRequirements
+from repro.net.delays import ExponentialDelay, LogNormalDelay, ParetoDelay
+from repro.sim.fastsim import simulate_nfde_fast, simulate_nfds_fast
+from repro.sim.runner import SimulationConfig, run_crash_runs
+
+# A contract loose enough to measure in seconds of CPU: detect within 3
+# time units, at most one mistake per ~300 on average, corrected fast.
+CONTRACT = QoSRequirements(
+    detection_time_upper=3.0,
+    mistake_recurrence_lower=300.0,
+    mistake_duration_upper=1.0,
+)
+NETWORK = dict(loss_probability=0.08, delay=ExponentialDelay(0.25))
+
+
+@pytest.mark.slow
+class TestSection4RoundTrip:
+    def test_configured_nfds_meets_contract_in_simulation(self):
+        cfg = configure_nfds(CONTRACT, **NETWORK)
+        sim = simulate_nfds_fast(
+            cfg.eta,
+            cfg.delta,
+            NETWORK["loss_probability"],
+            NETWORK["delay"],
+            seed=31,
+            target_mistakes=2000,
+            max_heartbeats=20_000_000,
+        )
+        assert sim.e_tmr >= CONTRACT.mistake_recurrence_lower * 0.9
+        assert sim.e_tm <= CONTRACT.mistake_duration_upper * 1.1
+        # Detection bound, via crash runs on the DES.
+        config = SimulationConfig(
+            eta=cfg.eta,
+            delay=NETWORK["delay"],
+            loss_probability=NETWORK["loss_probability"],
+            horizon=100.0,
+            seed=32,
+        )
+        crashes = run_crash_runs(
+            lambda: NFDS(eta=cfg.eta, delta=cfg.delta),
+            config,
+            n_runs=100,
+            settle_time=30.0,
+        )
+        assert crashes.max_detection_time <= CONTRACT.detection_time_upper + 1e-9
+
+
+@pytest.mark.slow
+class TestSection5RoundTrip:
+    @pytest.mark.parametrize(
+        "delay",
+        [
+            ExponentialDelay(0.25),
+            LogNormalDelay.from_mean_std(0.25, 0.25),
+            ParetoDelay.from_mean_std(0.25, 0.25),
+        ],
+        ids=["exponential", "lognormal", "pareto"],
+    )
+    def test_momentwise_config_certifies_any_matching_distribution(
+        self, delay
+    ):
+        """Section 5's promise: one (η, δ) from the moments alone must
+        hold under every distribution with those moments."""
+        cfg = configure_nfds_unknown(CONTRACT, 0.08, 0.25, 0.25**2)
+        sim = simulate_nfds_fast(
+            cfg.eta,
+            cfg.delta,
+            0.08,
+            delay,
+            seed=33,
+            target_mistakes=2000,
+            max_heartbeats=20_000_000,
+        )
+        if sim.n_mistakes >= 100:
+            assert sim.e_tmr >= CONTRACT.mistake_recurrence_lower * 0.9
+            assert sim.e_tm <= CONTRACT.mistake_duration_upper * 1.1
+
+
+@pytest.mark.slow
+class TestSection6RoundTrip:
+    def test_configured_nfde_meets_relative_contract(self):
+        t_d_u = 3.0  # relative: actual bound is 3.0 + E(D)
+        cfg = configure_nfdu(t_d_u, 300.0, 1.0, 0.08, 0.25**2)
+        sim = simulate_nfde_fast(
+            cfg.eta,
+            cfg.alpha,
+            0.08,
+            ExponentialDelay(0.25),
+            window=32,
+            seed=34,
+            target_mistakes=2000,
+            max_heartbeats=20_000_000,
+        )
+        # NFD-E's EA noise costs a little accuracy vs the certified
+        # NFD-U; allow 25% (the paper: "practically indistinguishable").
+        assert sim.e_tmr >= 300.0 * 0.75
+        assert sim.e_tm <= 1.0 * 1.25
+        config = SimulationConfig(
+            eta=cfg.eta,
+            delay=ExponentialDelay(0.25),
+            loss_probability=0.08,
+            horizon=100.0,
+            seed=35,
+        )
+        crashes = run_crash_runs(
+            lambda: NFDE(eta=cfg.eta, alpha=cfg.alpha, window=32),
+            config,
+            n_runs=100,
+            settle_time=30.0,
+        )
+        # Relative bound: T_D <= T_D^u + E(D), plus EA-estimation noise.
+        assert crashes.max_detection_time <= t_d_u + 0.25 + 0.15

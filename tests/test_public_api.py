@@ -1,0 +1,60 @@
+"""The public API surface: imports, __all__, and the README quickstart."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_readme_quickstart_flow():
+    """The exact flow promised in the README: contract -> configurator
+    -> detector -> simulated validation."""
+    req = repro.QoSRequirements(
+        detection_time_upper=30.0,
+        mistake_recurrence_lower=30 * 86400.0,
+        mistake_duration_upper=60.0,
+    )
+    cfg = repro.configure_nfds(
+        req, loss_probability=0.01, delay=repro.ExponentialDelay(0.02)
+    )
+    detector = repro.NFDS(eta=cfg.eta, delta=cfg.delta)
+    assert detector.detection_time_bound <= 30.0 + 1e-9
+
+    analysis = repro.NFDSAnalysis(
+        cfg.eta, cfg.delta, 0.01, repro.ExponentialDelay(0.02)
+    )
+    pred = analysis.predict()
+    assert pred.e_tmr >= req.mistake_recurrence_lower * (1 - 1e-9)
+    assert pred.e_tm <= req.mistake_duration_upper
+
+
+def test_quickstart_simulation_round_trip():
+    config = repro.SimulationConfig(
+        eta=1.0,
+        delay=repro.ExponentialDelay(0.02),
+        loss_probability=0.01,
+        horizon=2_000.0,
+        warmup=5.0,
+        seed=0,
+    )
+    result = repro.run_failure_free(
+        lambda: repro.NFDS(eta=1.0, delta=1.0), config
+    )
+    assert 0.99 <= result.accuracy.query_accuracy <= 1.0
+
+
+def test_error_hierarchy():
+    assert issubclass(repro.QoSUnachievableError, repro.ConfigurationError)
+    assert issubclass(repro.ConfigurationError, repro.ReproError)
+    assert issubclass(repro.TraceError, repro.ReproError)
+    assert issubclass(repro.InvalidParameterError, ValueError)
