@@ -39,10 +39,11 @@ from repro.experiments.profile_costs import run_profile_costs
 __all__ = ["main"]
 
 
-def _fig12_tables(full: bool):
+def _fig12_tables(full: bool, jobs: int):
     points = run_fig12(
         target_mistakes=500 if full else 200,
         max_heartbeats=600_000_000 if full else 30_000_000,
+        jobs=jobs,
     )
     tables = [fig12_tmr_table(points), fig12_tm_table(points)]
     print()
@@ -50,30 +51,34 @@ def _fig12_tables(full: bool):
     return tables
 
 
-_EXPERIMENTS: Dict[str, Callable[[bool], list]] = {
+# Each entry takes (full, jobs).  `jobs` fans the experiment's
+# independent units (sweep points or crash runs) out over worker
+# processes via repro.sim.parallel; experiments without a parallel axis
+# simply ignore it.  Results are bit-identical for every jobs value.
+_EXPERIMENTS: Dict[str, Callable[[bool, int], list]] = {
     "fig12": _fig12_tables,
-    "config-examples": lambda full: [run_config_examples()],
-    "nfde-window": lambda full: [
-        run_nfde_window(target_mistakes=3000 if full else 800)
+    "config-examples": lambda full, jobs: [run_config_examples()],
+    "nfde-window": lambda full, jobs: [
+        run_nfde_window(target_mistakes=3000 if full else 800, jobs=jobs)
     ],
-    "optimality": lambda full: [
-        run_optimality(target_mistakes=5000 if full else 1000)
+    "optimality": lambda full, jobs: [
+        run_optimality(target_mistakes=5000 if full else 1000, jobs=jobs)
     ],
-    "detection-time": lambda full: [
-        run_detection_time(n_runs=1000 if full else 200)
+    "detection-time": lambda full, jobs: [
+        run_detection_time(n_runs=1000 if full else 200, jobs=jobs)
     ],
-    "cutoff-ablation": lambda full: [
-        run_cutoff_ablation(target_mistakes=2000 if full else 500)
+    "cutoff-ablation": lambda full, jobs: [
+        run_cutoff_ablation(target_mistakes=2000 if full else 500, jobs=jobs)
     ],
-    "distributions": lambda full: [
+    "distributions": lambda full, jobs: [
         run_distributions(target_mistakes=2000 if full else 500)
     ],
-    "adaptive": lambda full: [run_adaptive()],
-    "phi-accrual": lambda full: [
+    "adaptive": lambda full, jobs: [run_adaptive()],
+    "phi-accrual": lambda full, jobs: [
         run_phi_comparison(horizon=100_000.0 if full else 20_000.0)
     ],
-    "profile-costs": lambda full: [run_profile_costs()],
-    "gossip": lambda full: [
+    "profile-costs": lambda full, jobs: [run_profile_costs()],
+    "gossip": lambda full, jobs: [
         run_gossip_comparison(
             horizon=40_000.0 if full else 10_000.0,
             n_crash_runs=200 if full else 40,
@@ -109,20 +114,33 @@ def main(argv: Optional[list] = None) -> int:
         default=None,
         help="directory to save result tables as text files",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for parallel experiments (0 = all cores); "
+            "results are bit-identical to --jobs 1 for the same seed"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0 (0 = all cores), got {args.jobs}")
 
     if args.experiment == "report":
         from repro.experiments.report import generate_report
 
         out_dir = args.out if args.out is not None else Path("results")
-        path = generate_report(out_dir / "REPORT.md", full=args.full)
+        path = generate_report(
+            out_dir / "REPORT.md", full=args.full, jobs=args.jobs
+        )
         print(f"report written: {path}")
         return 0
 
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.time()
-        tables = _EXPERIMENTS[name](args.full)
+        tables = _EXPERIMENTS[name](args.full, args.jobs)
         elapsed = time.time() - start
         for i, table in enumerate(tables):
             print()

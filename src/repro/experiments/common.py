@@ -9,7 +9,40 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.net.delays import DelayDistribution, ExponentialDelay
 
-__all__ = ["Fig12Settings", "FIG12_SETTINGS", "ExperimentTable", "fmt"]
+__all__ = [
+    "Fig12Settings",
+    "FIG12_SETTINGS",
+    "ExperimentTable",
+    "fmt",
+    "steady_state_warmup",
+]
+
+
+def steady_state_warmup(
+    eta: float,
+    delta: float = 0.0,
+    alpha: float = 0.0,
+    mean_delay: float = 0.0,
+    window: int = 0,
+    timeout: float = 0.0,
+    cutoff: float = 0.0,
+) -> float:
+    """A per-detector steady-state guard for accuracy estimation.
+
+    The first-window transient otherwise leaks into ``E(T_MR)``/``E(T_M)``
+    estimates: NFD-S is in steady state only from its first freshness
+    point ``δ + η``; NFD-E additionally needs its EA-estimation window of
+    ``window`` heartbeats to fill (≈ ``(window + 1)·η`` plus the
+    freshness offset ``α + E(D)``); SFD needs its first expiry deadline
+    armed, one ``TO + c`` past a heartbeat period.  Pass the parameters
+    that apply; the guard is the largest implied span.
+    """
+    candidates = [delta + eta]
+    if window > 0:
+        candidates.append((window + 1) * eta + max(alpha, 0.0) + mean_delay)
+    if timeout > 0:
+        candidates.append(timeout + cutoff + eta)
+    return max(candidates)
 
 
 @dataclass(frozen=True)

@@ -14,8 +14,14 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.analysis.sfd_theory import SFDAnalysis
-from repro.experiments.common import FIG12_SETTINGS, ExperimentTable, Fig12Settings
+from repro.experiments.common import (
+    FIG12_SETTINGS,
+    ExperimentTable,
+    Fig12Settings,
+    steady_state_warmup,
+)
 from repro.sim.fastsim import simulate_nfds_fast, simulate_sfd_fast
+from repro.sim.parallel import parallel_map
 
 __all__ = ["run_cutoff_ablation"]
 
@@ -27,8 +33,13 @@ def run_cutoff_ablation(
     target_mistakes: int = 1000,
     max_heartbeats: int = 20_000_000,
     seed: int = 808,
+    jobs: Optional[int] = 1,
 ) -> ExperimentTable:
-    """Sweep the SFD cutoff at a fixed detection bound."""
+    """Sweep the SFD cutoff at a fixed detection bound.
+
+    ``jobs`` fans the cutoff points (plus the NFD-S reference) out over
+    worker processes with identical results.
+    """
     if cutoffs is None:
         cutoffs = [0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.28]
     eta = settings.eta
@@ -50,19 +61,36 @@ def run_cutoff_ablation(
             "P_A",
         ],
     )
-    for c in cutoffs:
-        if c >= tdu:
-            continue
-        r = simulate_sfd_fast(
+    sweep = [c for c in cutoffs if c < tdu]
+
+    def evaluate(c: Optional[float]):
+        common = dict(
+            target_mistakes=target_mistakes,
+            max_heartbeats=max_heartbeats,
+        )
+        if c is None:  # the NFD-S reference at equal rate and bound
+            return simulate_nfds_fast(
+                eta,
+                tdu - eta,
+                p_l,
+                delay,
+                seed=seed + 1,
+                warmup=steady_state_warmup(eta, delta=tdu - eta),
+                **common,
+            )
+        return simulate_sfd_fast(
             eta,
             tdu - c,
             p_l,
             delay,
             cutoff=c,
             seed=seed,
-            target_mistakes=target_mistakes,
-            max_heartbeats=max_heartbeats,
+            warmup=steady_state_warmup(eta, timeout=tdu - c, cutoff=c),
+            **common,
         )
+
+    results = parallel_map(evaluate, sweep + [None], jobs=jobs)
+    for c, r in zip(sweep, results):
         model = (
             SFDAnalysis(eta, tdu - c, p_l, delay, cutoff=c).e_tmr()
             if c < eta
@@ -78,15 +106,7 @@ def run_cutoff_ablation(
             r.query_accuracy,
         )
 
-    ref = simulate_nfds_fast(
-        eta,
-        tdu - eta,
-        p_l,
-        delay,
-        seed=seed + 1,
-        target_mistakes=target_mistakes,
-        max_heartbeats=max_heartbeats,
-    )
+    ref = results[-1]
     table.add_row(
         "NFD-S (ref)", None, None, ref.e_tmr, None, ref.e_tm,
         ref.query_accuracy,

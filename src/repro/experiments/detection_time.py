@@ -14,11 +14,20 @@ permanent-suspicion detection need the exact trace semantics).
 
 from __future__ import annotations
 
+import math
+from typing import Optional
+
 from repro.core.nfd_e import NFDE
 from repro.core.nfd_s import NFDS
 from repro.core.simple import SimpleFD
-from repro.experiments.common import FIG12_SETTINGS, ExperimentTable, Fig12Settings
-from repro.sim.runner import SimulationConfig, run_crash_runs
+from repro.experiments.common import (
+    FIG12_SETTINGS,
+    ExperimentTable,
+    Fig12Settings,
+    steady_state_warmup,
+)
+from repro.sim.parallel import run_crash_runs_parallel
+from repro.sim.runner import SimulationConfig
 
 __all__ = ["run_detection_time"]
 
@@ -28,25 +37,40 @@ def run_detection_time(
     settings: Fig12Settings = FIG12_SETTINGS,
     n_runs: int = 200,
     seed: int = 707,
+    jobs: Optional[int] = 1,
 ) -> ExperimentTable:
-    """Measure ``T_D`` distributions for all detectors at one ``T_D^U``."""
+    """Measure ``T_D`` distributions for all detectors at one ``T_D^U``.
+
+    Each detector gets its own steady-state warmup, so the crash always
+    lands on a detector past its transient.  ``jobs`` fans the crash
+    runs out over worker processes with bit-identical results.
+    """
     eta = settings.eta
     delay = settings.delay
     p_l = settings.loss_probability
     delta = tdu - eta
     alpha = tdu - settings.mean_delay - eta
 
-    config = SimulationConfig(
-        eta=eta,
-        delay=delay,
-        loss_probability=p_l,
-        horizon=80.0,
-        seed=seed,
-    )
+    def config_for(warmup: float) -> SimulationConfig:
+        return SimulationConfig(
+            eta=eta,
+            delay=delay,
+            loss_probability=p_l,
+            horizon=80.0,
+            warmup=warmup,
+            seed=seed,
+        )
 
     table = ExperimentTable(
         title=f"Detection time T_D over {n_runs} crash runs (T_D^U={tdu})",
-        columns=["detector", "bound", "max T_D", "mean T_D", "bound held"],
+        columns=[
+            "detector",
+            "bound",
+            "max T_D",
+            "mean T_D",
+            "undetected",
+            "bound held",
+        ],
     )
 
     cases = [
@@ -54,12 +78,19 @@ def run_detection_time(
             f"NFD-S (delta={delta:g})",
             lambda: NFDS(eta=eta, delta=delta),
             delta + eta,
+            steady_state_warmup(eta, delta=delta),
         ),
         (
             f"NFD-E (alpha={alpha:g})",
             lambda: NFDE(eta=eta, alpha=alpha, window=settings.nfde_window),
             # NFD-U/E bound is relative: (alpha + eta) + E(D).
             alpha + eta + settings.mean_delay,
+            steady_state_warmup(
+                eta,
+                alpha=alpha,
+                mean_delay=settings.mean_delay,
+                window=settings.nfde_window,
+            ),
         ),
         (
             f"SFD (c={settings.cutoff_large:g})",
@@ -68,28 +99,47 @@ def run_detection_time(
                 cutoff=settings.cutoff_large,
             ),
             tdu,
+            steady_state_warmup(
+                eta,
+                timeout=tdu - settings.cutoff_large,
+                cutoff=settings.cutoff_large,
+            ),
         ),
         (
             "SFD (no cutoff)",
             lambda: SimpleFD(timeout=tdu),
             float("inf"),
+            steady_state_warmup(eta, timeout=tdu),
         ),
     ]
-    for name, factory, bound in cases:
-        result = run_crash_runs(
-            factory, config, n_runs=n_runs, settle_time=40.0
+    for name, factory, bound, warmup in cases:
+        result = run_crash_runs_parallel(
+            factory,
+            config_for(warmup),
+            n_runs=n_runs,
+            settle_time=40.0,
+            jobs=jobs,
         )
         max_td = result.max_detection_time
+        # An undetected crash means T_D exceeded the whole settle span,
+        # so any finite bound is violated.
+        worst = math.inf if result.n_undetected else max_td
         table.add_row(
             name,
             bound,
             max_td,
             result.mean_detection_time,
-            "yes" if max_td <= bound + 1e-9 else "NO",
+            result.n_undetected,
+            "yes" if worst <= bound + 1e-9 else "NO",
         )
     table.add_note(
         "NFD-E's bound is relative (T_D^u + E(D)); it holds in "
         "expectation over EA-estimation noise, so a small exceedance on "
         "individual runs is possible (the paper's eq. 6.1 discussion)"
+    )
+    table.add_note(
+        "max/mean T_D are over detected runs only; 'undetected' counts "
+        "runs whose crash was never suspected within the settle span "
+        "(any undetected run fails a finite bound)"
     )
     return table

@@ -29,13 +29,19 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.analysis.nfds_theory import NFDSAnalysis
-from repro.experiments.common import FIG12_SETTINGS, ExperimentTable, Fig12Settings
+from repro.experiments.common import (
+    FIG12_SETTINGS,
+    ExperimentTable,
+    Fig12Settings,
+    steady_state_warmup,
+)
 from repro.sim.fastsim import (
     FastAccuracyResult,
     simulate_nfde_fast,
     simulate_nfds_fast,
     simulate_sfd_fast,
 )
+from repro.sim.parallel import parallel_map
 
 __all__ = [
     "Fig12Point",
@@ -59,77 +65,118 @@ class Fig12Point:
     sfd_s: FastAccuracyResult
 
 
+def _fig12_point(
+    idx: int,
+    tdu: float,
+    settings: Fig12Settings,
+    target_mistakes: int,
+    max_heartbeats: int,
+    seed: int,
+) -> Fig12Point:
+    """Evaluate one ``T_D^U`` grid point (all four algorithms).
+
+    Seeds are a pure function of ``(seed, idx)``, so points can be
+    evaluated in any order — or on any worker — with identical results.
+    """
+    delay = settings.delay
+    eta = settings.eta
+    p_l = settings.loss_probability
+    delta = tdu - eta
+    if delta < 0:
+        raise ValueError(f"T_D^U={tdu} smaller than eta={eta}")
+    analysis = NFDSAnalysis(eta, delta, p_l, delay)
+    alpha = tdu - settings.mean_delay - eta
+    common = dict(
+        target_mistakes=target_mistakes,
+        max_heartbeats=max_heartbeats,
+    )
+    nfds = simulate_nfds_fast(
+        eta,
+        delta,
+        p_l,
+        delay,
+        seed=seed + 7 * idx,
+        warmup=steady_state_warmup(eta, delta=delta),
+        **common,
+    )
+    nfde = simulate_nfde_fast(
+        eta,
+        alpha,
+        p_l,
+        delay,
+        window=settings.nfde_window,
+        seed=seed + 7 * idx + 1,
+        warmup=steady_state_warmup(
+            eta,
+            alpha=alpha,
+            mean_delay=settings.mean_delay,
+            window=settings.nfde_window,
+        ),
+        **common,
+    )
+    sfd_l = simulate_sfd_fast(
+        eta,
+        tdu - settings.cutoff_large,
+        p_l,
+        delay,
+        cutoff=settings.cutoff_large,
+        seed=seed + 7 * idx + 2,
+        warmup=steady_state_warmup(
+            eta, timeout=tdu - settings.cutoff_large, cutoff=settings.cutoff_large
+        ),
+        **common,
+    )
+    sfd_s = simulate_sfd_fast(
+        eta,
+        tdu - settings.cutoff_small,
+        p_l,
+        delay,
+        cutoff=settings.cutoff_small,
+        seed=seed + 7 * idx + 3,
+        warmup=steady_state_warmup(
+            eta, timeout=tdu - settings.cutoff_small, cutoff=settings.cutoff_small
+        ),
+        **common,
+    )
+    return Fig12Point(
+        tdu=tdu,
+        analytic_tmr=analysis.e_tmr(),
+        analytic_tm=analysis.e_tm(),
+        nfds=nfds,
+        nfde=nfde,
+        sfd_l=sfd_l,
+        sfd_s=sfd_s,
+    )
+
+
 def run_fig12(
     tdu_values: Optional[Sequence[float]] = None,
     settings: Fig12Settings = FIG12_SETTINGS,
     target_mistakes: int = 500,
     max_heartbeats: int = 50_000_000,
     seed: int = 2000,
+    jobs: Optional[int] = 1,
 ) -> List[Fig12Point]:
     """Run the Fig. 12 sweep; one :class:`Fig12Point` per ``T_D^U``.
 
     ``max_heartbeats`` caps the per-point work; at the paper's full scale
     (T_D^U = 3.5 needs ≈ 5·10⁸ heartbeats for 500 mistakes) pass a larger
     cap, e.g. via ``python -m repro.experiments fig12 --full``.
+
+    ``jobs`` fans the grid points out over worker processes
+    (:mod:`repro.sim.parallel`); results are bit-identical to ``jobs=1``
+    for the same seed.  ``0``/``None`` uses all cores.
     """
     if tdu_values is None:
         tdu_values = settings.tdu_grid()
-    delay = settings.delay
-    eta = settings.eta
-    p_l = settings.loss_probability
-    points: List[Fig12Point] = []
-    for idx, tdu in enumerate(tdu_values):
-        delta = tdu - eta
-        if delta < 0:
-            raise ValueError(f"T_D^U={tdu} smaller than eta={eta}")
-        analysis = NFDSAnalysis(eta, delta, p_l, delay)
-        alpha = tdu - settings.mean_delay - eta
-        common = dict(
-            target_mistakes=target_mistakes,
-            max_heartbeats=max_heartbeats,
+
+    def point(args) -> Fig12Point:
+        idx, tdu = args
+        return _fig12_point(
+            idx, tdu, settings, target_mistakes, max_heartbeats, seed
         )
-        nfds = simulate_nfds_fast(
-            eta, delta, p_l, delay, seed=seed + 7 * idx, **common
-        )
-        nfde = simulate_nfde_fast(
-            eta,
-            alpha,
-            p_l,
-            delay,
-            window=settings.nfde_window,
-            seed=seed + 7 * idx + 1,
-            **common,
-        )
-        sfd_l = simulate_sfd_fast(
-            eta,
-            tdu - settings.cutoff_large,
-            p_l,
-            delay,
-            cutoff=settings.cutoff_large,
-            seed=seed + 7 * idx + 2,
-            **common,
-        )
-        sfd_s = simulate_sfd_fast(
-            eta,
-            tdu - settings.cutoff_small,
-            p_l,
-            delay,
-            cutoff=settings.cutoff_small,
-            seed=seed + 7 * idx + 3,
-            **common,
-        )
-        points.append(
-            Fig12Point(
-                tdu=tdu,
-                analytic_tmr=analysis.e_tmr(),
-                analytic_tm=analysis.e_tm(),
-                nfds=nfds,
-                nfde=nfde,
-                sfd_l=sfd_l,
-                sfd_s=sfd_s,
-            )
-        )
-    return points
+
+    return parallel_map(point, list(enumerate(tdu_values)), jobs=jobs)
 
 
 def fig12_tmr_table(points: Sequence[Fig12Point]) -> ExperimentTable:

@@ -13,8 +13,14 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.analysis.nfde_theory import nfde_approximation
-from repro.experiments.common import FIG12_SETTINGS, ExperimentTable, Fig12Settings
+from repro.experiments.common import (
+    FIG12_SETTINGS,
+    ExperimentTable,
+    Fig12Settings,
+    steady_state_warmup,
+)
 from repro.sim.fastsim import simulate_nfde_fast, simulate_nfdu_fast
+from repro.sim.parallel import parallel_map
 
 __all__ = ["run_nfde_window"]
 
@@ -26,8 +32,13 @@ def run_nfde_window(
     target_mistakes: int = 2000,
     max_heartbeats: int = 20_000_000,
     seed: int = 505,
+    jobs: Optional[int] = 1,
 ) -> ExperimentTable:
-    """Sweep the EA-estimation window and compare against NFD-U."""
+    """Sweep the EA-estimation window and compare against NFD-U.
+
+    ``jobs`` fans the sweep points (the NFD-U reference plus one point
+    per window) out over worker processes with identical results.
+    """
     if windows is None:
         windows = [2, 4, 8, 16, 32, 64]
     eta = settings.eta
@@ -35,15 +46,36 @@ def run_nfde_window(
     delay = settings.delay
     alpha = tdu - settings.mean_delay - eta
 
-    ref = simulate_nfdu_fast(
-        eta,
-        alpha,
-        p_l,
-        delay,
-        seed=seed,
-        target_mistakes=target_mistakes,
-        max_heartbeats=max_heartbeats,
-    )
+    def evaluate(n: Optional[int]):
+        if n is None:  # the NFD-U (known EA) reference
+            return simulate_nfdu_fast(
+                eta,
+                alpha,
+                p_l,
+                delay,
+                seed=seed,
+                target_mistakes=target_mistakes,
+                max_heartbeats=max_heartbeats,
+                warmup=steady_state_warmup(
+                    eta, alpha=alpha, mean_delay=settings.mean_delay, window=1
+                ),
+            )
+        return simulate_nfde_fast(
+            eta,
+            alpha,
+            p_l,
+            delay,
+            window=int(n),
+            seed=seed + 13 + n,
+            target_mistakes=target_mistakes,
+            max_heartbeats=max_heartbeats,
+            warmup=steady_state_warmup(
+                eta, alpha=alpha, mean_delay=settings.mean_delay, window=int(n)
+            ),
+        )
+
+    results = parallel_map(evaluate, [None] + list(windows), jobs=jobs)
+    ref = results[0]
 
     table = ExperimentTable(
         title=(
@@ -67,17 +99,7 @@ def run_nfde_window(
         ref.query_accuracy,
         1.0,
     )
-    for n in windows:
-        r = simulate_nfde_fast(
-            eta,
-            alpha,
-            p_l,
-            delay,
-            window=int(n),
-            seed=seed + 13 + n,
-            target_mistakes=target_mistakes,
-            max_heartbeats=max_heartbeats,
-        )
+    for n, r in zip(windows, results[1:]):
         model = nfde_approximation(eta, alpha, p_l, delay, window=int(n))
         table.add_row(
             n,

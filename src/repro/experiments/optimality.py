@@ -12,8 +12,14 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.analysis.nfds_theory import NFDSAnalysis
-from repro.experiments.common import FIG12_SETTINGS, ExperimentTable, Fig12Settings
+from repro.experiments.common import (
+    FIG12_SETTINGS,
+    ExperimentTable,
+    Fig12Settings,
+    steady_state_warmup,
+)
 from repro.sim.fastsim import simulate_nfds_fast, simulate_sfd_fast
+from repro.sim.parallel import parallel_map
 
 __all__ = ["run_optimality"]
 
@@ -25,8 +31,13 @@ def run_optimality(
     target_mistakes: int = 2000,
     max_heartbeats: int = 20_000_000,
     seed: int = 606,
+    jobs: Optional[int] = 1,
 ) -> ExperimentTable:
-    """Compare ``P_A`` across same-rate, same-detection-bound detectors."""
+    """Compare ``P_A`` across same-rate, same-detection-bound detectors.
+
+    ``jobs`` fans the table rows out over worker processes; the rows
+    (and their seeds) are identical to serial evaluation.
+    """
     if cutoffs is None:
         cutoffs = [0.04, 0.08, 0.16, 0.32, 0.64]
     eta = settings.eta
@@ -42,60 +53,52 @@ def run_optimality(
         columns=["detector", "P_A (sim)", "1-P_A (sim)", "E(T_MR)", "E(T_M)"],
     )
 
-    star = simulate_nfds_fast(
-        eta,
-        delta_star,
-        p_l,
-        delay,
-        seed=seed,
-        target_mistakes=target_mistakes,
-        max_heartbeats=max_heartbeats,
-    )
-    table.add_row(
-        f"NFD-S* (delta={delta_star:g})",
-        star.query_accuracy,
-        1.0 - star.query_accuracy,
-        star.e_tmr,
-        star.e_tm,
-    )
-
-    # A deliberately mis-parameterized NFD-S (smaller delta still meets
-    # the bound, but wastes accuracy) — shows delta = T_D^U - eta is the
-    # right choice within the NFD family too.
+    # One entry per table row; each is (label, kind, parameter, seed) so
+    # the fan-out reproduces exactly the serial seeds and ordering.  The
+    # sub-optimal NFD-S rows show delta = T_D^U - eta is the right
+    # choice within the NFD family too.
+    cases = [(f"NFD-S* (delta={delta_star:g})", "nfds", delta_star, seed)]
     for frac in (0.5, 0.75):
         delta = delta_star * frac
-        sub = simulate_nfds_fast(
-            eta,
-            delta,
-            p_l,
-            delay,
-            seed=seed + 1,
-            target_mistakes=target_mistakes,
-            max_heartbeats=max_heartbeats,
-        )
-        table.add_row(
-            f"NFD-S (delta={delta:g})",
-            sub.query_accuracy,
-            1.0 - sub.query_accuracy,
-            sub.e_tmr,
-            sub.e_tm,
-        )
-
+        cases.append((f"NFD-S (delta={delta:g})", "nfds", delta, seed + 1))
     for c in cutoffs:
         if c >= tdu:
             continue
-        r = simulate_sfd_fast(
-            eta,
-            tdu - c,
-            p_l,
-            delay,
-            cutoff=c,
-            seed=seed + 2,
+        cases.append((f"SFD (c={c:g})", "sfd", c, seed + 2))
+
+    def evaluate(case):
+        label, kind, param, case_seed = case
+        common = dict(
+            seed=case_seed,
             target_mistakes=target_mistakes,
             max_heartbeats=max_heartbeats,
         )
+        if kind == "nfds":
+            r = simulate_nfds_fast(
+                eta,
+                param,
+                p_l,
+                delay,
+                warmup=steady_state_warmup(eta, delta=param),
+                **common,
+            )
+        else:
+            r = simulate_sfd_fast(
+                eta,
+                tdu - param,
+                p_l,
+                delay,
+                cutoff=param,
+                warmup=steady_state_warmup(
+                    eta, timeout=tdu - param, cutoff=param
+                ),
+                **common,
+            )
+        return label, r
+
+    for label, r in parallel_map(evaluate, cases, jobs=jobs):
         table.add_row(
-            f"SFD (c={c:g})",
+            label,
             r.query_accuracy,
             1.0 - r.query_accuracy,
             r.e_tmr,

@@ -20,8 +20,14 @@ def generate_report(
     out_path: Path,
     full: bool = False,
     experiments: Optional[List[str]] = None,
+    jobs: int = 1,
 ) -> Path:
-    """Run experiments and write a markdown report; returns the path."""
+    """Run experiments and write a markdown report; returns the path.
+
+    ``jobs`` is forwarded to the parallel-capable experiments (see
+    ``python -m repro.experiments --jobs``); it changes only wall time,
+    never results.
+    """
     # Imported lazily so `--help` stays fast.
     from repro import __version__
     from repro.experiments.cli import _EXPERIMENTS
@@ -30,7 +36,7 @@ def generate_report(
     sections: List[Tuple[str, float, list]] = []
     for name in names:
         start = time.time()
-        tables = _EXPERIMENTS[name](full)
+        tables = _EXPERIMENTS[name](full, jobs)
         sections.append((name, time.time() - start, tables))
 
     lines: List[str] = []

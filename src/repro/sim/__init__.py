@@ -8,7 +8,11 @@
 * :mod:`repro.sim.runner` — end-to-end experiment wiring (failure-free
   accuracy runs and crash detection-time runs);
 * :mod:`repro.sim.fastsim` — vectorized NumPy simulators for
-  benchmark-scale statistics (hundreds of millions of heartbeats).
+  benchmark-scale statistics (hundreds of millions of heartbeats);
+* :mod:`repro.sim.seeds` — namespaced, collision-free RNG stream
+  derivation shared by the serial and parallel paths;
+* :mod:`repro.sim.parallel` — a deterministic multiprocessing executor
+  whose results are bit-identical to serial for any job count.
 """
 
 from repro.sim.engine import EventHandle, Simulator
@@ -21,6 +25,12 @@ from repro.sim.fastsim import (
 )
 from repro.sim.heartbeat import HeartbeatSender
 from repro.sim.monitor import DetectorHost
+from repro.sim.parallel import (
+    ParallelStats,
+    parallel_map,
+    run_crash_runs_parallel,
+    run_failure_free_parallel,
+)
 from repro.sim.runner import (
     CrashRunResult,
     FailureFreeResult,
@@ -44,4 +54,8 @@ __all__ = [
     "CrashRunResult",
     "run_failure_free",
     "run_crash_runs",
+    "ParallelStats",
+    "parallel_map",
+    "run_crash_runs_parallel",
+    "run_failure_free_parallel",
 ]

@@ -30,6 +30,8 @@ class _Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
+    owner: Optional["Simulator"] = field(default=None, compare=False, repr=False)
 
 
 class EventHandle:
@@ -50,7 +52,12 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Cancel the event; safe to call more than once."""
-        self._event.cancelled = True
+        ev = self._event
+        if ev.cancelled:
+            return
+        ev.cancelled = True
+        if not ev.fired and ev.owner is not None:
+            ev.owner._live -= 1
 
 
 class Simulator:
@@ -70,6 +77,11 @@ class Simulator:
         self._counter = itertools.count()
         self._now = 0.0
         self._running = False
+        # Live (scheduled, non-cancelled, non-fired) event count, updated
+        # on schedule/cancel/pop so `pending` is O(1) — the heartbeat
+        # sender queries it on every send, which made the old
+        # scan-the-heap implementation O(heap) per event.
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -79,7 +91,7 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of scheduled (non-cancelled) events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -101,8 +113,14 @@ class Simulator:
             ev = _Event(time=time, seq=next(self._counter), callback=callback)
             ev.cancelled = True
             return EventHandle(ev)
-        ev = _Event(time=float(time), seq=next(self._counter), callback=callback)
+        ev = _Event(
+            time=float(time),
+            seq=next(self._counter),
+            callback=callback,
+            owner=self,
+        )
         heapq.heappush(self._heap, ev)
+        self._live += 1
         return EventHandle(ev)
 
     def schedule_after(
@@ -125,6 +143,8 @@ class Simulator:
                 continue
             if ev.time < self._now:  # pragma: no cover - defensive
                 raise SimulationError("event heap delivered a past event")
+            ev.fired = True
+            self._live -= 1
             self._now = ev.time
             ev.callback()
             return True
@@ -152,6 +172,8 @@ class Simulator:
                 if ev.time > horizon:
                     break
                 heapq.heappop(self._heap)
+                ev.fired = True
+                self._live -= 1
                 self._now = ev.time
                 ev.callback()
             self._now = float(horizon)

@@ -105,7 +105,11 @@ class FastAccuracyResult:
 
 
 def _validate_common(
-    eta: float, loss_probability: float, target_mistakes: int, max_heartbeats: int
+    eta: float,
+    loss_probability: float,
+    target_mistakes: int,
+    max_heartbeats: int,
+    warmup: float = 0.0,
 ) -> None:
     if eta <= 0:
         raise InvalidParameterError(f"eta must be positive, got {eta}")
@@ -121,6 +125,8 @@ def _validate_common(
         raise InvalidParameterError(
             f"max_heartbeats must be >= 1, got {max_heartbeats}"
         )
+    if warmup < 0:
+        raise InvalidParameterError(f"warmup must be >= 0, got {warmup}")
 
 
 def _draw_arrivals(
@@ -152,17 +158,23 @@ def simulate_nfds_fast(
     target_mistakes: int = 500,
     max_heartbeats: int = 200_000_000,
     chunk_size: int = 4_000_000,
+    warmup: float = 0.0,
 ) -> FastAccuracyResult:
     """Failure-free NFD-S run until ``target_mistakes`` S-transitions.
 
     Measurement starts at the first freshness point ``τ_1`` (NFD-S is in
-    steady state from there, Section 3.2).
+    steady state from there, Section 3.2) or, if later, at the first
+    freshness point ``≥ warmup`` — the arrivals before it still seed the
+    windowed minimum, they are just excluded from the accounting.
     """
-    _validate_common(eta, loss_probability, target_mistakes, max_heartbeats)
+    _validate_common(
+        eta, loss_probability, target_mistakes, max_heartbeats, warmup
+    )
     if delta < 0:
         raise InvalidParameterError(f"delta must be >= 0, got {delta}")
     rng = np.random.default_rng(seed)
     k = int(math.ceil(delta / eta - 1e-12))
+    warming = warmup > 0.0
 
     s_times: List[np.ndarray] = []
     durations: List[np.ndarray] = []
@@ -198,6 +210,10 @@ def simulate_nfds_fast(
         if m <= 0:
             carry_arrivals = arrivals
             continue
+        # Carries for the next chunk are fixed by the *full* window count,
+        # before any warmup trimming below.
+        next_carry_arrivals = arrivals[m:].copy()
+        next_carry_start_seq = start_seq + m
         f = arrivals[:m].copy()
         for j in range(1, k + 1):
             np.minimum(f, arrivals[j : j + m], out=f)
@@ -205,6 +221,25 @@ def simulate_nfds_fast(
         idx = np.arange(start_seq, start_seq + m, dtype=float)
         tau = idx * eta + delta
         tau_next = tau + eta
+
+        # Steady-state guard: drop leading windows whose freshness point
+        # precedes the warmup (their arrivals still feed the windowed
+        # minimum via prev_f, so the first retained window joins the
+        # stream mid-steady-state rather than at a fake cold start).
+        if warming:
+            nskip = int(np.searchsorted(tau, warmup, side="left"))
+            if nskip >= m:
+                carry_arrivals = next_carry_arrivals
+                carry_start_seq = next_carry_start_seq
+                prev_f = float(f[-1])
+                continue
+            if nskip:
+                prev_f = float(f[nskip - 1])
+                f = f[nskip:]
+                tau = tau[nskip:]
+                tau_next = tau_next[nskip:]
+                m -= nskip
+            warming = False
 
         # Suspect time per window: from τ_i until trust (capped at τ_{i+1}).
         suspect_time += float(
@@ -252,8 +287,8 @@ def simulate_nfds_fast(
             n_s += int(s_local.size)
 
         # Prepare carries for the next chunk.
-        carry_arrivals = arrivals[m:].copy()
-        carry_start_seq = start_seq + m
+        carry_arrivals = next_carry_arrivals
+        carry_start_seq = next_carry_start_seq
         prev_f = float(f[-1])
 
     all_s = (
@@ -290,6 +325,7 @@ def _simulate_freshness_stream(
     chunk_size: int,
     ea_offset: Optional[float],
     window: Optional[int],
+    warmup: float = 0.0,
 ) -> FastAccuracyResult:
     """Common engine for NFD-U (``ea_offset`` known) and NFD-E (rolling).
 
@@ -302,8 +338,14 @@ def _simulate_freshness_stream(
 
     and the output on ``[t_m, t_{m+1})`` is T on ``[t_m, τ_m)`` (when
     nonempty) and S on ``[max(t_m, τ_m), t_{m+1})``.
+
+    ``warmup`` additionally drops effective receipts before that time
+    from the accounting (they still feed the EA estimator), as a
+    steady-state guard on top of the window-fill warmup.
     """
-    _validate_common(eta, loss_probability, target_mistakes, max_heartbeats)
+    _validate_common(
+        eta, loss_probability, target_mistakes, max_heartbeats, warmup
+    )
     rng = np.random.default_rng(seed)
 
     s_times: List[np.ndarray] = []
@@ -330,6 +372,7 @@ def _simulate_freshness_stream(
     # NFD-U a single effective receipt suffices).
     warm_needed = window if window is not None else 1
     warm_seen = 0
+    warming_time = warmup > 0.0
     truncated = False
 
     while n_s < target_mistakes:
@@ -403,6 +446,20 @@ def _simulate_freshness_stream(
             tau_prev = None
             if e_t.size == 0:
                 continue
+
+        # Time-based steady-state guard: drop receipts before `warmup`
+        # (a prefix, since e_t is ascending); measurement restarts at the
+        # first retained receipt.
+        if warming_time:
+            keep = e_t >= warmup
+            if not bool(keep.all()):
+                e_t = e_t[keep]
+                tau = tau[keep]
+                t_prev = None
+                tau_prev = None
+            if e_t.size == 0:
+                continue
+            warming_time = False
 
         # Build the interval stream: carry + this chunk's receipts.
         if t_prev is not None:
@@ -484,6 +541,7 @@ def simulate_nfdu_fast(
     target_mistakes: int = 500,
     max_heartbeats: int = 200_000_000,
     chunk_size: int = 4_000_000,
+    warmup: float = 0.0,
 ) -> FastAccuracyResult:
     """Failure-free NFD-U run (expected arrival times *known*).
 
@@ -504,6 +562,7 @@ def simulate_nfdu_fast(
         chunk_size=chunk_size,
         ea_offset=offset,
         window=None,
+        warmup=warmup,
     )
 
 
@@ -517,6 +576,7 @@ def simulate_nfde_fast(
     target_mistakes: int = 500,
     max_heartbeats: int = 200_000_000,
     chunk_size: int = 4_000_000,
+    warmup: float = 0.0,
 ) -> FastAccuracyResult:
     """Failure-free NFD-E run (expected arrival times *estimated*,
     eq. 6.3, over the ``window`` most recent heartbeats)."""
@@ -534,6 +594,7 @@ def simulate_nfde_fast(
         chunk_size=chunk_size,
         ea_offset=None,
         window=int(window),
+        warmup=warmup,
     )
 
 
@@ -552,6 +613,7 @@ def simulate_sfd_fast(
     target_mistakes: int = 500,
     max_heartbeats: int = 200_000_000,
     chunk_size: int = 4_000_000,
+    warmup: float = 0.0,
 ) -> FastAccuracyResult:
     """Failure-free run of the common algorithm (optional cutoff).
 
@@ -559,8 +621,13 @@ def simulate_sfd_fast(
     receipts (sorted by arrival time): the S-transition fires at
     ``B_t + TO`` and the next accepted receipt at ``B_{t+1}`` retracts it,
     so ``T_M = B_{t+1} − B_t − TO`` exactly.
+
+    ``warmup`` starts the measurement at the first accepted receipt at
+    or after that time (steady-state guard).
     """
-    _validate_common(eta, loss_probability, target_mistakes, max_heartbeats)
+    _validate_common(
+        eta, loss_probability, target_mistakes, max_heartbeats, warmup
+    )
     if timeout <= 0:
         raise InvalidParameterError(f"timeout must be positive, got {timeout}")
     if cutoff is not None and cutoff <= 0:
@@ -578,6 +645,7 @@ def simulate_sfd_fast(
     # Arrivals past the chunk's last send time may be overtaken by the
     # next chunk's messages; buffer them until mature.
     pend = np.empty(0, dtype=float)
+    warming = warmup > 0.0
     truncated = False
 
     while n_s < target_mistakes:
@@ -603,6 +671,13 @@ def simulate_sfd_fast(
         pend = pend[~mature]
         if b.size == 0:
             continue
+        # Steady-state guard: measurement starts at the first accepted
+        # receipt >= warmup; earlier accepts are discarded outright.
+        if warming:
+            b = b[b >= warmup]
+            if b.size == 0:
+                continue
+            warming = False
         if last_accept is not None:
             b = np.concatenate([[last_accept], b])
         if b.size >= 2:

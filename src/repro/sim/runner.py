@@ -27,6 +27,12 @@ from repro.net.link import LossyLink
 from repro.sim.engine import Simulator
 from repro.sim.heartbeat import HeartbeatSender
 from repro.sim.monitor import DetectorHost
+from repro.sim.seeds import (
+    STREAM_CRASH_RUN,
+    STREAM_CRASH_TIMES,
+    STREAM_FAILURE_FREE,
+    derive_rng,
+)
 
 __all__ = [
     "SimulationConfig",
@@ -94,19 +100,40 @@ class FailureFreeResult:
 
 @dataclass
 class CrashRunResult:
-    """Outcome of a batch of crash (detection-time) runs."""
+    """Outcome of a batch of crash (detection-time) runs.
+
+    ``detection_times[i]`` is ``inf`` when run *i* never suspected the
+    crashed process within its horizon.  The summary statistics exclude
+    those runs (instead of silently returning ``inf``) and report them
+    via :attr:`n_undetected` — callers deciding whether a detection
+    bound held must check both.
+    """
 
     detection_times: np.ndarray
     crash_times: np.ndarray
     traces: list = field(repr=False, default_factory=list)
 
     @property
+    def detected_times(self) -> np.ndarray:
+        """Detection times of the runs that did detect the crash."""
+        return self.detection_times[np.isfinite(self.detection_times)]
+
+    @property
+    def n_undetected(self) -> int:
+        """Number of runs whose crash was never detected."""
+        return int(np.sum(~np.isfinite(self.detection_times)))
+
+    @property
     def max_detection_time(self) -> float:
-        return float(np.max(self.detection_times))
+        """Max ``T_D`` over *detected* runs; NaN if none detected."""
+        detected = self.detected_times
+        return float(np.max(detected)) if detected.size else math.nan
 
     @property
     def mean_detection_time(self) -> float:
-        return float(np.mean(self.detection_times))
+        """Mean ``T_D`` over *detected* runs; NaN if none detected."""
+        detected = self.detected_times
+        return float(np.mean(detected)) if detected.size else math.nan
 
 
 def _build(
@@ -144,7 +171,7 @@ def run_failure_free(
     run_index: int = 0,
 ) -> FailureFreeResult:
     """Run one failure-free simulation and estimate the accuracy metrics."""
-    rng = np.random.default_rng(np.random.SeedSequence([config.seed, run_index]))
+    rng = derive_rng(config.seed, STREAM_FAILURE_FREE, run_index)
     detector = detector_factory()
     sim, host, sender = _build(config, detector, rng, crash_time=None)
     host.start()
@@ -160,6 +187,69 @@ def run_failure_free(
     )
 
 
+def _prepare_crash_runs(
+    config: SimulationConfig,
+    n_runs: int,
+    crash_window: Optional[tuple],
+    settle_time: Optional[float],
+):
+    """Validate inputs and draw the crash-time vector for a batch.
+
+    Shared by the serial path below and :mod:`repro.sim.parallel`: the
+    crash times are drawn *once*, from their own namespaced stream, so
+    they are identical however the runs are later distributed.
+    """
+    if n_runs < 1:
+        raise InvalidParameterError(f"n_runs must be >= 1, got {n_runs}")
+    if crash_window is None:
+        # Start no earlier than the warmup so the detector is in steady
+        # state when the crash lands.
+        base = max(config.horizon / 2.0, config.warmup)
+        crash_window = (base, base + config.eta)
+    lo, hi = crash_window
+    if not (0 < lo <= hi):
+        raise InvalidParameterError(f"bad crash window {crash_window}")
+    if lo < config.warmup:
+        raise InvalidParameterError(
+            f"crash window {crash_window} starts inside the "
+            f"warmup ({config.warmup}); the detector would still be in "
+            "its transient when the crash lands"
+        )
+    settle = settle_time if settle_time is not None else config.horizon
+    rng_crash = derive_rng(config.seed, STREAM_CRASH_TIMES)
+    crash_times = rng_crash.uniform(lo, hi, size=n_runs)
+    return crash_times, settle
+
+
+def _run_single_crash(
+    detector_factory: DetectorFactory,
+    config: SimulationConfig,
+    run_index: int,
+    crash_time: float,
+    settle: float,
+    keep_trace: bool,
+):
+    """One crash run; returns ``(detection_time, trace_or_None)``.
+
+    The run's stream is keyed by its absolute index, so the result is
+    the same whether it executes serially or on any parallel worker.
+    """
+    rng = derive_rng(config.seed, STREAM_CRASH_RUN, run_index)
+    detector = detector_factory()
+    sim, host, sender = _build(config, detector, rng, crash_time=crash_time)
+    host.start()
+    sender.start()
+    sim.run_until(crash_time + settle)
+    trace = host.finish()
+    if trace.current_output != SUSPECT:
+        detection = math.inf
+    else:
+        transitions = trace.transitions
+        final = transitions[-1].time if transitions else trace.start_time
+        detection = max(0.0, final - crash_time)
+    return detection, (trace if keep_trace else None)
+
+
 def run_crash_runs(
     detector_factory: DetectorFactory,
     config: SimulationConfig,
@@ -173,9 +263,10 @@ def run_crash_runs(
     Args:
         crash_window: real-time interval from which each run's crash time
             is drawn uniformly; defaults to
-            ``[horizon/2, horizon/2 + eta]`` so the crash phase relative
-            to the heartbeat period is uniform (the worst case for the
-            detection bound is a crash just after a send).
+            ``[horizon/2, horizon/2 + eta]`` (shifted past the warmup if
+            needed) so the crash phase relative to the heartbeat period
+            is uniform (the worst case for the detection bound is a
+            crash just after a send).
         settle_time: extra time simulated past the crash so the detector's
             output can become permanently ``S``; defaults to
             4·(detection bound guess) = ``4 · horizon`` is wasteful, so we
@@ -183,42 +274,27 @@ def run_crash_runs(
         keep_traces: keep the full per-run traces (memory-heavy).
 
     ``T_D`` per run is the time from the crash to the final S-transition,
-    ``inf`` if the detector still trusts p at the end of the run.
+    ``inf`` if the detector still trusts p at the end of the run.  For a
+    fan-out over worker processes with bit-identical results, see
+    :func:`repro.sim.parallel.run_crash_runs_parallel`.
     """
-    if n_runs < 1:
-        raise InvalidParameterError(f"n_runs must be >= 1, got {n_runs}")
-    if crash_window is None:
-        base = config.horizon / 2.0
-        crash_window = (base, base + config.eta)
-    lo, hi = crash_window
-    if not (0 < lo <= hi):
-        raise InvalidParameterError(f"bad crash window {crash_window}")
-    settle = settle_time if settle_time is not None else config.horizon
-    rng_crash = np.random.default_rng(
-        np.random.SeedSequence([config.seed, 0xC4A54])
+    crash_times, settle = _prepare_crash_runs(
+        config, n_runs, crash_window, settle_time
     )
-    crash_times = rng_crash.uniform(lo, hi, size=n_runs)
-
     detections = np.empty(n_runs, dtype=float)
     traces = []
     for i in range(n_runs):
-        rng = np.random.default_rng(np.random.SeedSequence([config.seed, i + 1]))
-        detector = detector_factory()
-        sim, host, sender = _build(
-            config, detector, rng, crash_time=float(crash_times[i])
+        detection, trace = _run_single_crash(
+            detector_factory,
+            config,
+            i,
+            float(crash_times[i]),
+            settle,
+            keep_traces,
         )
-        host.start()
-        sender.start()
-        sim.run_until(crash_times[i] + settle)
-        trace = host.finish()
+        detections[i] = detection
         if keep_traces:
             traces.append(trace)
-        if trace.current_output != SUSPECT:
-            detections[i] = math.inf
-        else:
-            transitions = trace.transitions
-            final = transitions[-1].time if transitions else trace.start_time
-            detections[i] = max(0.0, final - crash_times[i])
     return CrashRunResult(
         detection_times=detections, crash_times=crash_times, traces=traces
     )

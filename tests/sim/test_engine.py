@@ -82,6 +82,38 @@ class TestCancellation:
         h1.cancel()
         assert sim.pending == 1
 
+    def test_pending_tracks_schedule_cancel_fire_mix(self):
+        # `pending` is a live counter, not a heap scan: it must stay
+        # exact through any interleaving of the three operations.
+        sim = Simulator()
+        handles = [sim.schedule_at(float(i + 1), lambda: None) for i in range(6)]
+        assert sim.pending == 6
+        handles[0].cancel()
+        handles[3].cancel()
+        assert sim.pending == 4
+        sim.run_until(2.0)  # fires the (uncancelled) event at t=2
+        assert sim.pending == 3
+        handles[3].cancel()  # double cancel: no double decrement
+        assert sim.pending == 3
+        sim.run_until(10.0)
+        assert sim.pending == 0
+
+    def test_cancel_after_fire_does_not_underflow(self):
+        sim = Simulator()
+        h = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        sim.run_until(1.5)
+        assert sim.pending == 1
+        h.cancel()  # already fired: counter must not move
+        assert sim.pending == 1
+
+    def test_infinite_event_never_counts_as_pending(self):
+        sim = Simulator()
+        h = sim.schedule_at(math.inf, lambda: None)
+        assert sim.pending == 0
+        h.cancel()
+        assert sim.pending == 0
+
 
 class TestExecution:
     def test_events_can_schedule_events(self):
