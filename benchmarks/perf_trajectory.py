@@ -1,0 +1,273 @@
+"""Machine-readable performance trajectory for the replica kernels.
+
+Measures the three perf axes this repo optimizes and writes them as one
+JSON document (``BENCH_fastsim.json`` at the repo root), so performance
+changes land in review as numbers, not prose:
+
+* **fastsim multi-seed throughput** — heartbeats/s of an ensemble of
+  failure-free NFD-S runs, serial kernel calls vs one lockstep batch
+  (:func:`repro.sim.batch.simulate_nfds_fast_batch`).
+* **crash-run throughput** — crash runs/s of a detection-time ensemble,
+  event-driven :func:`repro.sim.runner.run_crash_runs` vs the vectorized
+  crash kernel (:func:`repro.sim.batch.run_crash_runs_batched`).
+* **analytic-path latency** — :meth:`NFDSAnalysis.predict` on a cold
+  instance vs re-querying the same (memoized) instance, plus the
+  Section 4 ``configure_nfds`` worked example end to end.
+
+Every comparison pairs bit-identical computations, so the ratios are
+pure execution-strategy wins.  Usage::
+
+    PYTHONPATH=src python benchmarks/perf_trajectory.py              # full
+    PYTHONPATH=src python benchmarks/perf_trajectory.py --smoke      # CI-safe
+
+``--smoke`` shrinks the workloads to run in a couple of seconds and is
+what the tier-1 schema test exercises; committed numbers come from a
+full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_fastsim.json"
+
+SCHEMA = "repro.bench.fastsim/1"
+
+
+def _time(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def bench_fastsim_multiseed(smoke: bool) -> dict:
+    """Serial vs lockstep-batched multi-seed accuracy ensembles.
+
+    Bit-identity pins each row's RNG consumption to the serial kernel's,
+    so per-row draws and bookkeeping cannot merge; the lockstep batch
+    shares the chunk schedule and the elementwise passes.  The expected
+    single-core outcome is *throughput parity* — the axis exists to
+    group heterogeneous task lists and compose with process-level
+    parallelism (batch within a worker x workers across cores) without
+    changing any result.  This entry keeps that parity honest in the
+    trajectory.
+    """
+    from repro.net.delays import ExponentialDelay
+    from repro.sim.batch import simulate_nfds_fast_batch, simulate_sfd_fast_batch
+    from repro.sim.fastsim import simulate_nfds_fast, simulate_sfd_fast
+
+    n_tasks = 8 if smoke else 64
+    reps = 1 if smoke else 3
+    sched = dict(
+        target_mistakes=10**9,  # heartbeat-bound: fixed work per row
+        max_heartbeats=10_000 if smoke else 50_000,
+        chunk_size=2_000 if smoke else 5_000,
+    )
+    common = dict(
+        eta=1.0,
+        loss_probability=0.01,
+        delay=ExponentialDelay(0.02),
+        **sched,
+    )
+    kernels = {
+        "nfds": (
+            simulate_nfds_fast,
+            simulate_nfds_fast_batch,
+            dict(delta=1.0),
+        ),
+        "sfd": (
+            simulate_sfd_fast,
+            simulate_sfd_fast_batch,
+            dict(timeout=1.7, cutoff=0.3),
+        ),
+    }
+    heartbeats = n_tasks * sched["max_heartbeats"]
+    out: dict = {
+        "n_tasks": n_tasks,
+        "heartbeats_per_task": sched["max_heartbeats"],
+        "chunk_size": sched["chunk_size"],
+    }
+    for name, (serial, batch, extra) in kernels.items():
+        tasks = [
+            dict(seed=seed, **extra, **common) for seed in range(n_tasks)
+        ]
+        # Warm both code paths (imports, allocator) off the clock.
+        serial(**{**tasks[0], "max_heartbeats": 2_000})
+        batch([{**tasks[0], "max_heartbeats": 2_000}])
+        serial_s = min(
+            _time(lambda: [serial(**kw) for kw in tasks]) for _ in range(reps)
+        )
+        batched_s = min(
+            _time(lambda: batch(tasks)) for _ in range(reps)
+        )
+        out[name] = {
+            "serial_s": round(serial_s, 4),
+            "batched_s": round(batched_s, 4),
+            "serial_hb_per_s": round(heartbeats / serial_s),
+            "batched_hb_per_s": round(heartbeats / batched_s),
+            "speedup": round(serial_s / batched_s, 2),
+        }
+    return out
+
+
+def bench_crash_runs(smoke: bool) -> dict:
+    """Event-driven vs vectorized-kernel detection-time ensembles.
+
+    Two honest numbers, both with a cold fate cache:
+
+    * ``kernel`` — one NFD-S case (T_D^U = 2, horizon 80, settle 40):
+      the raw kernel vs event-loop ratio with no stream reuse.
+    * ``experiment`` — the full E7 ``run_detection_time`` table (four
+      detector cases over the same link, whose crash-run streams the
+      fate cache shares): the 300-replica detection-time run of the
+      acceptance criterion.
+    """
+    import numpy as np
+
+    from repro.core.nfd_s import NFDS
+    from repro.experiments.detection_time import run_detection_time
+    from repro.net.delays import ExponentialDelay
+    from repro.sim import batch as batch_mod
+    from repro.sim.batch import run_crash_runs_batched
+    from repro.sim.runner import SimulationConfig, run_crash_runs
+
+    n_runs = 20 if smoke else 300
+    config = SimulationConfig(
+        eta=1.0,
+        delay=ExponentialDelay(0.02),
+        loss_probability=0.01,
+        horizon=80.0,
+        seed=707,
+    )
+
+    def factory():
+        return NFDS(eta=1.0, delta=1.0)
+
+    # Warm-up + correctness guard: the two paths must agree exactly.
+    ref = run_crash_runs(factory, config, n_runs=4, settle_time=40.0)
+    got = run_crash_runs_batched(
+        factory, config, n_runs=4, batch_size=64, settle_time=40.0
+    )
+    assert np.array_equal(ref.detection_times, got.detection_times)
+
+    event_s = _time(
+        lambda: run_crash_runs(factory, config, n_runs=n_runs, settle_time=40.0)
+    )
+    batch_mod._FATES_CACHE.clear()  # no reuse from the warm-up
+    batched_s = _time(
+        lambda: run_crash_runs_batched(
+            factory, config, n_runs=n_runs, batch_size=64, settle_time=40.0
+        )
+    )
+    kernel = {
+        "event_driven_s": round(event_s, 4),
+        "batched_s": round(batched_s, 4),
+        "event_driven_runs_per_s": round(n_runs / event_s, 1),
+        "batched_runs_per_s": round(n_runs / batched_s, 1),
+        "speedup": round(event_s / batched_s, 2),
+    }
+
+    run_detection_time(n_runs=4)
+    run_detection_time(n_runs=4, batch_size=64)  # warm both paths
+    exp_event_s = _time(lambda: run_detection_time(n_runs=n_runs))
+    batch_mod._FATES_CACHE.clear()
+    exp_batched_s = _time(
+        lambda: run_detection_time(n_runs=n_runs, batch_size=64)
+    )
+    experiment = {
+        "event_driven_s": round(exp_event_s, 4),
+        "batched_s": round(exp_batched_s, 4),
+        "speedup": round(exp_event_s / exp_batched_s, 2),
+    }
+    return {"n_runs": n_runs, "kernel": kernel, "experiment": experiment}
+
+
+def bench_analytic(smoke: bool) -> dict:
+    """Cold vs memoized Theorem 5 evaluation + Section 4 configuration."""
+    from repro.analysis.configurator import configure_nfds
+    from repro.analysis.nfds_theory import NFDSAnalysis
+    from repro.metrics.qos import QoSRequirements
+    from repro.net.delays import ExponentialDelay
+
+    delay = ExponentialDelay(0.02)
+
+    def cold_predict():
+        NFDSAnalysis(
+            eta=9.97, delta=20.03, loss_probability=0.01, delay=delay
+        ).predict()
+
+    analysis = NFDSAnalysis(
+        eta=9.97, delta=20.03, loss_probability=0.01, delay=delay
+    )
+    analysis.predict()  # fill the memo
+
+    reps = 3 if smoke else 20
+    cold_s = _time(lambda: [cold_predict() for _ in range(reps)]) / reps
+    memo_s = _time(lambda: [analysis.predict() for _ in range(reps)]) / reps
+
+    # The paper's Section 4 worked example (30 s bound, 30-day
+    # recurrence, 60 s duration) — the configurator's bisection
+    # re-evaluates the vectorized log-space f dozens of times.
+    requirements = QoSRequirements(
+        detection_time_upper=30.0,
+        mistake_recurrence_lower=2_592_000.0,
+        mistake_duration_upper=60.0,
+    )
+    config_s = (
+        _time(
+            lambda: [
+                configure_nfds(requirements, 0.01, delay) for _ in range(reps)
+            ]
+        )
+        / reps
+    )
+    return {
+        "predict_cold_s": round(cold_s, 6),
+        "predict_memoized_s": round(memo_s, 6),
+        "memoization_speedup": round(cold_s / memo_s, 1),
+        "configure_nfds_s": round(config_s, 6),
+    }
+
+
+def collect(smoke: bool) -> dict:
+    return {
+        "schema": SCHEMA,
+        "mode": "smoke" if smoke else "full",
+        "generated_by": "benchmarks/perf_trajectory.py",
+        "date": time.strftime("%Y-%m-%d"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "fastsim_multiseed": bench_fastsim_multiseed(smoke),
+        "crash_runs": bench_crash_runs(smoke),
+        "analytic": bench_analytic(smoke),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workloads (seconds, CI-safe); numbers not representative",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+    doc = collect(smoke=args.smoke)
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(json.dumps(doc, indent=2))
+    print(f"\nwritten: {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.analysis.nfds_theory import NFDSAnalysis, QoSPrediction
 from repro.analysis.search import largest_feasible_eta
 from repro.errors import InvalidParameterError, QoSUnachievableError
@@ -79,16 +81,19 @@ def configure_nfds(
     eta_max = min(eta_max, t_d_u)
 
     # Step 2 — log-space f to survive products of hundreds of factors.
+    # The product over j is evaluated in one vectorized CDF call: the
+    # bisection re-evaluates f dozens of times, and for tight requirements
+    # n_terms runs into the hundreds.
     def log_f(eta: float) -> float:
         n_terms = int(math.ceil(t_d_u / eta - 1e-12)) - 1
         log_prod = 0.0
-        for j in range(1, n_terms + 1):
-            term = loss_probability + (1.0 - loss_probability) * float(
-                delay.sf(t_d_u - j * eta)
-            )
-            if term == 0.0:
+        if n_terms > 0:
+            j = np.arange(1, n_terms + 1)
+            sf = np.asarray(delay.sf(t_d_u - j * eta), dtype=float)
+            terms = loss_probability + (1.0 - loss_probability) * sf
+            if np.any(terms == 0.0):
                 return math.inf  # perfect accuracy: every mistake impossible
-            log_prod += math.log(term)
+            log_prod = float(np.sum(np.log(terms)))
         return math.log(eta) - math.log(q0_prime) - log_prod
 
     eta = largest_feasible_eta(log_f, eta_max, t_mr_l)

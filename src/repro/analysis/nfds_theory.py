@@ -100,6 +100,11 @@ class NFDSAnalysis:
         self.delta = float(delta)
         self.p_l = float(loss_probability)
         self.delay = delay
+        # Per-configuration memo of the expensive evaluations (adaptive
+        # quadrature, CDF products).  The parameters above are fixed for
+        # the lifetime of the instance, so each value is computed at most
+        # once however many times predict()/e_tm()/query_accuracy() ask.
+        self._memo: dict = {}
 
     # ------------------------------------------------------------------ #
     # Proposition 3
@@ -126,22 +131,38 @@ class NFDSAnalysis:
     @property
     def q_0(self) -> float:
         """``q_0 = (1−p_L)·P(D < δ + η)`` (Prop. 3.3)."""
-        return (1.0 - self.p_l) * float(
-            self.delay.prob_less(self.delta + self.eta)
-        )
+        if "q_0" not in self._memo:
+            self._memo["q_0"] = (1.0 - self.p_l) * float(
+                self.delay.prob_less(self.delta + self.eta)
+            )
+        return self._memo["q_0"]
 
     def u(self, x: ArrayLike) -> ArrayLike:
-        """``u(x) = Π_{j=0}^{k} p_j(x)`` for ``x ∈ [0, η)`` (Prop. 3.4)."""
+        """``u(x) = Π_{j=0}^{k} p_j(x)`` for ``x ∈ [0, η)`` (Prop. 3.4).
+
+        Evaluated by broadcasting over ``j``: one CDF call on a
+        ``x.shape + (k+1,)`` grid and a product along the last axis,
+        instead of ``k+1`` separate passes over ``x``.
+        """
         xa = np.asarray(x, dtype=float)
-        out = np.ones_like(xa)
-        for j in range(self.k + 1):
-            out = out * np.asarray(self.p_j(j, xa))
+        t = self.delta + xa[..., None] - np.arange(self.k + 1) * self.eta
+        factors = self.p_l + (1.0 - self.p_l) * np.asarray(
+            self.delay.sf(t), dtype=float
+        )
+        out = np.multiply.reduce(factors, axis=-1)
         return float(out) if np.ndim(x) == 0 else out
+
+    @property
+    def u_0(self) -> float:
+        """``u(0)`` — the suspicion probability at a freshness point."""
+        if "u_0" not in self._memo:
+            self._memo["u_0"] = float(self.u(0.0))
+        return self._memo["u_0"]
 
     @property
     def p_s(self) -> float:
         """``p_s = q_0 · u(0)`` (Prop. 3.5)."""
-        return self.q_0 * float(self.u(0.0))
+        return self.q_0 * self.u_0
 
     # ------------------------------------------------------------------ #
     # Theorem 5
@@ -172,8 +193,12 @@ class NFDSAnalysis:
 
         The integrand has kinks wherever ``δ + x − jη`` crosses a
         non-smooth point of the delay CDF; those x are passed to ``quad``
-        as mandatory split points.
+        as mandatory split points.  The value is memoized: the paper's
+        predictions need it in both ``E(T_M)`` and ``P_A``, and sweep
+        tables re-query the same configuration repeatedly.
         """
+        if "integral_u" in self._memo:
+            return self._memo["integral_u"]
         pts = []
         for kink in self.delay.kinks():
             for j in range(self.k + 1):
@@ -187,7 +212,8 @@ class NFDSAnalysis:
             points=sorted(set(pts)) or None,
             limit=200,
         )
-        return float(value)
+        self._memo["integral_u"] = float(value)
+        return self._memo["integral_u"]
 
     def e_tmr(self) -> float:
         """``E(T_MR) = η / p_s`` (Theorem 5.2); ``inf`` if ``p_s = 0``."""
@@ -248,7 +274,7 @@ class NFDSAnalysis:
             ),
             p_s=self.p_s,
             q_0=self.q_0,
-            u_0=float(self.u(0.0)),
+            u_0=self.u_0,
             k=self.k,
         )
 

@@ -39,11 +39,12 @@ from repro.experiments.profile_costs import run_profile_costs
 __all__ = ["main"]
 
 
-def _fig12_tables(full: bool, jobs: int):
+def _fig12_tables(full: bool, jobs: int, batch_size: Optional[int]):
     points = run_fig12(
         target_mistakes=500 if full else 200,
         max_heartbeats=600_000_000 if full else 30_000_000,
         jobs=jobs,
+        batch_size=batch_size,
     )
     tables = [fig12_tmr_table(points), fig12_tm_table(points)]
     print()
@@ -51,34 +52,47 @@ def _fig12_tables(full: bool, jobs: int):
     return tables
 
 
-# Each entry takes (full, jobs).  `jobs` fans the experiment's
-# independent units (sweep points or crash runs) out over worker
-# processes via repro.sim.parallel; experiments without a parallel axis
-# simply ignore it.  Results are bit-identical for every jobs value.
-_EXPERIMENTS: Dict[str, Callable[[bool, int], list]] = {
+# Each entry takes (full, jobs, batch_size).  `jobs` fans the
+# experiment's independent units (sweep points or crash runs) out over
+# worker processes via repro.sim.parallel; `batch_size` routes
+# compatible units through the vectorized batch kernels of
+# repro.sim.batch (batching within a worker composes with jobs across
+# workers).  Experiments without the corresponding axis simply ignore
+# them.  Results are bit-identical for every jobs/batch_size value.
+_EXPERIMENTS: Dict[str, Callable[[bool, int, Optional[int]], list]] = {
     "fig12": _fig12_tables,
-    "config-examples": lambda full, jobs: [run_config_examples()],
-    "nfde-window": lambda full, jobs: [
+    "config-examples": lambda full, jobs, batch: [run_config_examples()],
+    "nfde-window": lambda full, jobs, batch: [
         run_nfde_window(target_mistakes=3000 if full else 800, jobs=jobs)
     ],
-    "optimality": lambda full, jobs: [
-        run_optimality(target_mistakes=5000 if full else 1000, jobs=jobs)
+    "optimality": lambda full, jobs, batch: [
+        run_optimality(
+            target_mistakes=5000 if full else 1000,
+            jobs=jobs,
+            batch_size=batch,
+        )
     ],
-    "detection-time": lambda full, jobs: [
-        run_detection_time(n_runs=1000 if full else 200, jobs=jobs)
+    "detection-time": lambda full, jobs, batch: [
+        run_detection_time(
+            n_runs=1000 if full else 200, jobs=jobs, batch_size=batch
+        )
     ],
-    "cutoff-ablation": lambda full, jobs: [
-        run_cutoff_ablation(target_mistakes=2000 if full else 500, jobs=jobs)
+    "cutoff-ablation": lambda full, jobs, batch: [
+        run_cutoff_ablation(
+            target_mistakes=2000 if full else 500,
+            jobs=jobs,
+            batch_size=batch,
+        )
     ],
-    "distributions": lambda full, jobs: [
+    "distributions": lambda full, jobs, batch: [
         run_distributions(target_mistakes=2000 if full else 500)
     ],
-    "adaptive": lambda full, jobs: [run_adaptive()],
-    "phi-accrual": lambda full, jobs: [
+    "adaptive": lambda full, jobs, batch: [run_adaptive()],
+    "phi-accrual": lambda full, jobs, batch: [
         run_phi_comparison(horizon=100_000.0 if full else 20_000.0)
     ],
-    "profile-costs": lambda full, jobs: [run_profile_costs()],
-    "gossip": lambda full, jobs: [
+    "profile-costs": lambda full, jobs, batch: [run_profile_costs()],
+    "gossip": lambda full, jobs, batch: [
         run_gossip_comparison(
             horizon=40_000.0 if full else 10_000.0,
             n_crash_runs=200 if full else 40,
@@ -123,16 +137,32 @@ def main(argv: Optional[list] = None) -> int:
             "results are bit-identical to --jobs 1 for the same seed"
         ),
     )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "replica batch size for the vectorized batch kernels "
+            "(repro.sim.batch); composes with --jobs (batch within a "
+            "worker, workers across cores); results are bit-identical "
+            "to the unbatched path for the same seed"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.jobs < 0:
         parser.error(f"--jobs must be >= 0 (0 = all cores), got {args.jobs}")
+    if args.batch_size is not None and args.batch_size < 1:
+        parser.error(f"--batch-size must be >= 1, got {args.batch_size}")
 
     if args.experiment == "report":
         from repro.experiments.report import generate_report
 
         out_dir = args.out if args.out is not None else Path("results")
         path = generate_report(
-            out_dir / "REPORT.md", full=args.full, jobs=args.jobs
+            out_dir / "REPORT.md",
+            full=args.full,
+            jobs=args.jobs,
+            batch_size=args.batch_size,
         )
         print(f"report written: {path}")
         return 0
@@ -140,7 +170,7 @@ def main(argv: Optional[list] = None) -> int:
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.time()
-        tables = _EXPERIMENTS[name](args.full, args.jobs)
+        tables = _EXPERIMENTS[name](args.full, args.jobs, args.batch_size)
         elapsed = time.time() - start
         for i, table in enumerate(tables):
             print()

@@ -20,7 +20,11 @@ from repro.experiments.common import (
     Fig12Settings,
     steady_state_warmup,
 )
-from repro.sim.fastsim import simulate_nfds_fast, simulate_sfd_fast
+from repro.sim.batch import (
+    AccuracyTask,
+    run_accuracy_task,
+    run_accuracy_tasks_batched,
+)
 from repro.sim.parallel import parallel_map
 
 __all__ = ["run_cutoff_ablation"]
@@ -34,11 +38,14 @@ def run_cutoff_ablation(
     max_heartbeats: int = 20_000_000,
     seed: int = 808,
     jobs: Optional[int] = 1,
+    batch_size: Optional[int] = None,
 ) -> ExperimentTable:
     """Sweep the SFD cutoff at a fixed detection bound.
 
     ``jobs`` fans the cutoff points (plus the NFD-S reference) out over
-    worker processes with identical results.
+    worker processes with identical results.  With a ``batch_size`` the
+    whole cutoff sweep advances as one lockstep multi-seed SFD batch —
+    again bit-identical.
     """
     if cutoffs is None:
         cutoffs = [0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.28]
@@ -63,33 +70,43 @@ def run_cutoff_ablation(
     )
     sweep = [c for c in cutoffs if c < tdu]
 
-    def evaluate(c: Optional[float]):
+    def task_for(c: Optional[float]) -> AccuracyTask:
         common = dict(
+            loss_probability=p_l,
+            delay=delay,
             target_mistakes=target_mistakes,
             max_heartbeats=max_heartbeats,
         )
         if c is None:  # the NFD-S reference at equal rate and bound
-            return simulate_nfds_fast(
-                eta,
-                tdu - eta,
-                p_l,
-                delay,
-                seed=seed + 1,
-                warmup=steady_state_warmup(eta, delta=tdu - eta),
-                **common,
+            return AccuracyTask(
+                "nfds",
+                dict(
+                    eta=eta,
+                    delta=tdu - eta,
+                    seed=seed + 1,
+                    warmup=steady_state_warmup(eta, delta=tdu - eta),
+                    **common,
+                ),
             )
-        return simulate_sfd_fast(
-            eta,
-            tdu - c,
-            p_l,
-            delay,
-            cutoff=c,
-            seed=seed,
-            warmup=steady_state_warmup(eta, timeout=tdu - c, cutoff=c),
-            **common,
+        return AccuracyTask(
+            "sfd",
+            dict(
+                eta=eta,
+                timeout=tdu - c,
+                cutoff=c,
+                seed=seed,
+                warmup=steady_state_warmup(eta, timeout=tdu - c, cutoff=c),
+                **common,
+            ),
         )
 
-    results = parallel_map(evaluate, sweep + [None], jobs=jobs)
+    tasks = [task_for(c) for c in sweep + [None]]
+    if batch_size is not None:
+        results = run_accuracy_tasks_batched(
+            tasks, batch_size=batch_size, jobs=jobs
+        )
+    else:
+        results = parallel_map(run_accuracy_task, tasks, jobs=jobs)
     for c, r in zip(sweep, results):
         model = (
             SFDAnalysis(eta, tdu - c, p_l, delay, cutoff=c).e_tmr()

@@ -18,7 +18,11 @@ from repro.experiments.common import (
     Fig12Settings,
     steady_state_warmup,
 )
-from repro.sim.fastsim import simulate_nfds_fast, simulate_sfd_fast
+from repro.sim.batch import (
+    AccuracyTask,
+    run_accuracy_task,
+    run_accuracy_tasks_batched,
+)
 from repro.sim.parallel import parallel_map
 
 __all__ = ["run_optimality"]
@@ -32,11 +36,15 @@ def run_optimality(
     max_heartbeats: int = 20_000_000,
     seed: int = 606,
     jobs: Optional[int] = 1,
+    batch_size: Optional[int] = None,
 ) -> ExperimentTable:
     """Compare ``P_A`` across same-rate, same-detection-bound detectors.
 
     ``jobs`` fans the table rows out over worker processes; the rows
-    (and their seeds) are identical to serial evaluation.
+    (and their seeds) are identical to serial evaluation.  With a
+    ``batch_size``, compatible rows (all NFD-S rows share k, all SFD
+    rows share the schedule) advance through the lockstep multi-seed
+    kernels instead — bit-identical again.
     """
     if cutoffs is None:
         cutoffs = [0.04, 0.08, 0.16, 0.32, 0.64]
@@ -66,37 +74,46 @@ def run_optimality(
             continue
         cases.append((f"SFD (c={c:g})", "sfd", c, seed + 2))
 
-    def evaluate(case):
-        label, kind, param, case_seed = case
+    def task_for(case) -> AccuracyTask:
+        _label, kind, param, case_seed = case
         common = dict(
+            loss_probability=p_l,
+            delay=delay,
             seed=case_seed,
             target_mistakes=target_mistakes,
             max_heartbeats=max_heartbeats,
         )
         if kind == "nfds":
-            r = simulate_nfds_fast(
-                eta,
-                param,
-                p_l,
-                delay,
-                warmup=steady_state_warmup(eta, delta=param),
-                **common,
+            return AccuracyTask(
+                "nfds",
+                dict(
+                    eta=eta,
+                    delta=param,
+                    warmup=steady_state_warmup(eta, delta=param),
+                    **common,
+                ),
             )
-        else:
-            r = simulate_sfd_fast(
-                eta,
-                tdu - param,
-                p_l,
-                delay,
+        return AccuracyTask(
+            "sfd",
+            dict(
+                eta=eta,
+                timeout=tdu - param,
                 cutoff=param,
                 warmup=steady_state_warmup(
                     eta, timeout=tdu - param, cutoff=param
                 ),
                 **common,
-            )
-        return label, r
+            ),
+        )
 
-    for label, r in parallel_map(evaluate, cases, jobs=jobs):
+    tasks = [task_for(case) for case in cases]
+    if batch_size is not None:
+        results = run_accuracy_tasks_batched(
+            tasks, batch_size=batch_size, jobs=jobs
+        )
+    else:
+        results = parallel_map(run_accuracy_task, tasks, jobs=jobs)
+    for (label, _kind, _param, _seed), r in zip(cases, results):
         table.add_row(
             label,
             r.query_accuracy,

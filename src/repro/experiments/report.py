@@ -21,12 +21,13 @@ def generate_report(
     full: bool = False,
     experiments: Optional[List[str]] = None,
     jobs: int = 1,
+    batch_size: Optional[int] = None,
 ) -> Path:
     """Run experiments and write a markdown report; returns the path.
 
-    ``jobs`` is forwarded to the parallel-capable experiments (see
-    ``python -m repro.experiments --jobs``); it changes only wall time,
-    never results.
+    ``jobs`` and ``batch_size`` are forwarded to the parallel- and
+    batch-capable experiments (see ``python -m repro.experiments
+    --jobs/--batch-size``); they change only wall time, never results.
     """
     # Imported lazily so `--help` stays fast.
     from repro import __version__
@@ -36,7 +37,7 @@ def generate_report(
     sections: List[Tuple[str, float, list]] = []
     for name in names:
         start = time.time()
-        tables = _EXPERIMENTS[name](full, jobs)
+        tables = _EXPERIMENTS[name](full, jobs, batch_size)
         sections.append((name, time.time() - start, tables))
 
     lines: List[str] = []

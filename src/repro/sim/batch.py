@@ -1,0 +1,1096 @@
+"""Batched multi-replica kernels: many independent replicas per NumPy pass.
+
+The paper's heaviest numbers are replica ensembles — the Section 7
+detection-time study averages hundreds of crash runs, Fig. 12 needs ~500
+mistakes per sweep point — and :func:`repro.sim.runner.run_crash_runs`
+executes one event-driven Python replica at a time.  This module batches
+replicas along two axes, in both cases **bit-identical** to the serial
+code paths for the same seed (asserted in ``tests/sim/test_batch.py``):
+
+* **Crash runs** (:func:`run_crash_runs_batched`).  A crash run's
+  randomness is exactly the fates of the heartbeats sent before the
+  crash, drawn from the run's namespaced stream
+  (``SeedSequence([seed, STREAM_CRASH_RUN, run_index])``).  The kernel
+  replays those draws *in the engine's exact order* (the loss coin and
+  the delay draw interleave per message), assembles an arrival matrix of
+  shape ``(n_replicas, n_messages)``, and evaluates each detector's
+  final output and last S-transition in closed form over the whole
+  matrix — no event loop.  Because every replica is seeded by its
+  absolute run index, the batch size can never change a result.
+
+* **Failure-free accuracy ensembles** (:func:`simulate_nfds_fast_batch`,
+  :func:`simulate_sfd_fast_batch`, :func:`run_accuracy_tasks_batched`).
+  Multiple seeds/configurations advance through the *same* fastsim chunk
+  schedule in lockstep, sharing sequence bookkeeping and (for NFD-S) the
+  windowed-minimum passes as 2-D operations, so ensembles of short runs
+  amortize per-call NumPy dispatch.  Each row keeps its own generator
+  and consumes it exactly as the serial kernel would.
+
+Closed-form detection recipes (all proved against the event-driven
+implementations; ``end = crash_time + settle`` is the simulated horizon,
+events at exactly ``end`` still fire):
+
+* **NFD-S** — freshness points ``τ_i = i·η_d + δ`` fire up to
+  ``i_end = max{i ≥ 1 : τ_i ≤ end}``.  The run ends trusting iff some
+  delivered sequence number is ``≥ i_end``.  Otherwise the final
+  S-transition is at ``τ_{L+1}`` where ``L`` is the last window index
+  with ``F_L < τ_{L+1}`` (``F_i`` = earliest delivered arrival among
+  sequences ``≥ max(i, 1)``, a suffix minimum); no such ``L`` means the
+  detector never trusted and the detection time clamps to 0.
+* **SFD** — with the running-maximum property of identical timeouts the
+  final timer expires at ``max(accepted arrivals) + TO``; the run ends
+  trusting iff that expiry lands past ``end``.
+* **NFD-U / NFD-E** — receipts sorted by arrival (ties in sequence
+  order, matching the engine's scheduling order); *effective* receipts
+  are the running sequence maxima.  Each effective receipt ``m`` at time
+  ``t_m`` computes its freshness point ``τ_m`` (NFD-U from the
+  expected-arrival table, NFD-E from the eq. 6.3 rolling mean evaluated
+  with the estimator's exact float grouping); the run ends trusting iff
+  the last ``τ_M > end``, and otherwise the final S-transition is at
+  ``min(τ_{m'}, t_{m'+1})`` for the last fresh receipt ``m'``
+  (``t_{m'} < τ_{m'}``).
+
+Runs that end suspecting with no transition after the crash (the
+detector was already suspecting when the crash landed) report a
+detection time of exactly ``0.0``, matching the serial clamp — see
+:attr:`repro.sim.runner.CrashRunResult.n_premature`.
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.nfd_e import NFDE
+from repro.core.nfd_s import NFDS
+from repro.core.nfd_u import NFDU
+from repro.core.simple import SimpleFD
+from repro.errors import InvalidParameterError
+from repro.net.clocks import PerfectClock
+from repro.sim.fastsim import (
+    FastAccuracyResult,
+    _draw_arrivals,
+    _merge_sorted,
+    _validate_common,
+    simulate_nfde_fast,
+    simulate_nfds_fast,
+    simulate_nfdu_fast,
+    simulate_sfd_fast,
+)
+from repro.sim.parallel import (
+    chunk_spans,
+    parallel_map,
+    run_crash_runs_parallel,
+)
+from repro.sim.runner import (
+    CrashRunResult,
+    DetectorFactory,
+    SimulationConfig,
+    _prepare_crash_runs,
+)
+from repro.sim.seeds import STREAM_CRASH_RUN, derive_rng
+
+__all__ = [
+    "CrashKernelSpec",
+    "crash_kernel_spec",
+    "run_crash_runs_batched",
+    "AccuracyTask",
+    "run_accuracy_task",
+    "simulate_nfds_fast_batch",
+    "simulate_sfd_fast_batch",
+    "run_accuracy_tasks_batched",
+]
+
+
+# --------------------------------------------------------------------- #
+# Crash-run kernel: detector introspection
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CrashKernelSpec:
+    """Closed-form detection recipe derived from a detector factory."""
+
+    kind: str  # "nfds" | "nfdu" | "nfde" | "sfd"
+    eta: float = 0.0  # detector-side eta (NFD family)
+    delta: float = 0.0  # NFD-S freshness shift
+    alpha: float = 0.0  # NFD-U/E slack
+    window: int = 0  # NFD-E estimator window
+    timeout: float = 0.0  # SFD timeout
+    cutoff: Optional[float] = None  # SFD cutoff
+    expected_arrival: Optional[Callable[[int], float]] = None  # NFD-U
+
+
+def crash_kernel_spec(
+    detector_factory: DetectorFactory, config: SimulationConfig
+) -> Optional[CrashKernelSpec]:
+    """Derive the batched-kernel recipe for a factory, or ``None``.
+
+    The kernel covers the library's four detectors under perfect clocks
+    with the paper's sequence numbering (``first_seq = 1``) and a fresh
+    probe instance.  Exact types only: a subclass may override behaviour
+    the closed forms do not model.  For NFD-U the ``expected_arrival``
+    callable must be pure and identical across factory invocations (it
+    is tabulated once per batch); NFD-E — whose estimator state the
+    kernel models explicitly — is matched before its NFD-U base.
+    Anything unrecognized falls back to the event-driven path.
+    """
+    for clock in (config.sender_clock, config.monitor_clock):
+        if clock is not None and type(clock) is not PerfectClock:
+            return None
+    probe = detector_factory()
+    t = type(probe)
+    if t is NFDE:
+        if probe._first_seq != 1 or probe._ell != 0:
+            return None
+        if probe.estimator.n_samples != 0:
+            return None
+        return CrashKernelSpec(
+            kind="nfde",
+            eta=probe._eta,
+            alpha=probe._alpha,
+            window=probe.estimator.window,
+        )
+    if t is NFDU:
+        if probe._first_seq != 1 or probe._ell != 0:
+            return None
+        return CrashKernelSpec(
+            kind="nfdu",
+            eta=probe._eta,
+            alpha=probe._alpha,
+            expected_arrival=probe._expected_arrival,
+        )
+    if t is NFDS:
+        if probe._first_seq != 1:
+            return None
+        return CrashKernelSpec(kind="nfds", eta=probe._eta, delta=probe._delta)
+    if t is SimpleFD:
+        return CrashKernelSpec(
+            kind="sfd", timeout=probe._timeout, cutoff=probe._cutoff
+        )
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Crash-run kernel: RNG replay and arrival matrices
+# --------------------------------------------------------------------- #
+
+
+def _send_schedule(eta: float, max_crash: float) -> np.ndarray:
+    """Real send times ``σ_j = η + (j−1)·η``, covering every crash time.
+
+    The arithmetic mirrors :meth:`HeartbeatSender.send_local_time`
+    (``origin + (seq − first_seq)·η`` with the default origin
+    ``1·η``) term for term, so the schedule is bit-equal to the times
+    at which the engine hands messages to the link.
+    """
+    n = int(math.ceil(max_crash / eta)) + 2
+    sends = eta + np.arange(n, dtype=np.int64) * eta
+    while sends[-1] < max_crash:  # float-edge paranoia
+        n *= 2
+        sends = eta + np.arange(n, dtype=np.int64) * eta
+    return sends
+
+
+# Number of probe draws used to certify a fast sampling shortcut.  The
+# shortcuts below are *structural* (the same per-element code path in
+# NumPy), so a short draw-for-draw prefix plus a final bit-generator
+# state comparison either passes for every stream or fails immediately.
+_PROBE_DRAWS = 24
+
+
+def _candidate_scalar_sampler(delay) -> Optional[Callable]:
+    """A cheap scalar draw intended to equal ``delay.sample(rng, 1)[0]``.
+
+    Families whose single draw is one plain :class:`numpy.random.Generator`
+    method call can skip the array round-trip of ``sample(rng, 1)``.  The
+    candidate is only ever used after :func:`_verified_scalar_sampler`
+    certifies it draw-for-draw, so reading the distributions' private
+    parameters here is safe: any drift between these closures and the
+    ``sample`` implementations makes the certification fail closed.
+    """
+    from repro.net import delays as d
+
+    t = type(delay)
+    if t is d.ExponentialDelay:
+        mean = delay.mean
+        return lambda rng: float(rng.exponential(mean))
+    if t is d.ShiftedExponentialDelay:
+        shift, scale = delay.shift, delay._scale
+        return lambda rng: float(shift + rng.exponential(scale))
+    if t is d.UniformDelay:
+        low, high = delay._low, delay._high
+        return lambda rng: float(rng.uniform(low, high))
+    if t is d.ConstantDelay:
+        value = delay.value  # np.full consumes no randomness
+        return lambda rng: value
+    if t is d.GammaDelay:
+        shape, scale = delay._shape, delay._scale
+        return lambda rng: float(rng.gamma(shape, scale))
+    if t is d.WeibullDelay:
+        shape, scale = delay._shape, delay._scale
+        return lambda rng: float(scale * rng.weibull(shape))
+    if t is d.LogNormalDelay:
+        mu, sigma = delay._mu, delay._sigma
+        return lambda rng: float(rng.lognormal(mu, sigma))
+    return None
+
+
+def _verified_scalar_sampler(delay) -> Optional[Callable]:
+    """The scalar sampler, certified against the generic path, or None."""
+    draw = _candidate_scalar_sampler(delay)
+    if draw is None:
+        return None
+    a = np.random.default_rng(0xB1750)
+    b = np.random.default_rng(0xB1750)
+    for _ in range(_PROBE_DRAWS):
+        if float(delay.sample(a, 1)[0]) != draw(b):
+            return None
+    if a.bit_generator.state != b.bit_generator.state:
+        return None
+    return draw
+
+
+def _verified_batch_sampling(delay) -> bool:
+    """True iff ``delay.sample(rng, n)`` equals ``n`` single draws.
+
+    NumPy's Generator fills arrays one variate at a time from the same
+    bit stream, so this holds for the plain families; it fails (and must
+    fail) for e.g. mixtures, whose batched component choice consumes the
+    stream in a different order than per-message choices would.
+    """
+    a = np.random.default_rng(0xB1751)
+    b = np.random.default_rng(0xB1751)
+    batch = np.asarray(delay.sample(a, _PROBE_DRAWS), dtype=float)
+    singles = np.array(
+        [float(delay.sample(b, 1)[0]) for _ in range(_PROBE_DRAWS)]
+    )
+    return bool(
+        np.array_equal(batch, singles)
+        and a.bit_generator.state == b.bit_generator.state
+    )
+
+
+class _FateStream:
+    """One run's replayed message fates, extendable on demand."""
+
+    __slots__ = ("rng", "fates", "n")
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self.fates = np.empty(128, dtype=float)
+        self.n = 0
+
+
+# Replayed fate prefixes, shared across run_crash_runs_batched calls:
+# delay instance (weakly held) -> (seed, p_L) -> run_index -> stream.
+# Experiments that evaluate several detectors over one link — the four
+# cases of the detection-time study, say — reuse the same crash-run
+# streams, so each stream is replayed once instead of once per case.
+_FATES_CACHE: "weakref.WeakKeyDictionary[Any, Dict]" = (
+    weakref.WeakKeyDictionary()
+)
+_FATES_CACHE_MAX_STREAMS = 65536
+
+
+class _FateReplayer:
+    """Replays :meth:`LossyLink.transmit` draw for draw, with caching.
+
+    The loss coin is flipped first and a lost message consumes *no*
+    delay draw, so with loss the stream interleaving is data-dependent
+    and stays a scalar loop; the loop body uses the certified scalar
+    sampler when one exists.  Without loss the whole prefix is one
+    certified batched draw.  Either way the values are exactly the ones
+    the event-driven engine would consume.
+    """
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self._seed = config.seed
+        self._delay = config.delay
+        self._p_l = config.loss_probability
+        self._sampler = _verified_scalar_sampler(config.delay)
+        self._batch_ok = self._p_l == 0.0 and _verified_batch_sampling(
+            config.delay
+        )
+        try:
+            per_delay = _FATES_CACHE.setdefault(config.delay, {})
+        except TypeError:  # non-weakrefable delay object: skip the cache
+            self._streams: Dict[int, _FateStream] = {}
+        else:
+            bucket = per_delay.setdefault((self._seed, self._p_l), {})
+            if len(bucket) > _FATES_CACHE_MAX_STREAMS:
+                bucket.clear()
+            self._streams = bucket
+
+    def fates(self, run_index: int, n_sent: int) -> np.ndarray:
+        """Delays of the ``n_sent`` pre-crash heartbeats (``inf`` = lost)."""
+        st = self._streams.get(run_index)
+        if st is None:
+            st = _FateStream(
+                derive_rng(self._seed, STREAM_CRASH_RUN, run_index)
+            )
+            self._streams[run_index] = st
+        if n_sent > st.n:
+            self._extend(st, n_sent)
+        return st.fates[:n_sent]
+
+    def _extend(self, st: _FateStream, need: int) -> None:
+        if need > st.fates.size:
+            grown = np.empty(max(need, 2 * st.fates.size), dtype=float)
+            grown[: st.n] = st.fates[: st.n]
+            st.fates = grown
+        f = st.fates
+        rng = st.rng
+        p_l = self._p_l
+        draw = self._sampler
+        lo = st.n
+        if p_l > 0.0:
+            coin = rng.random
+            if draw is not None:
+                for m in range(lo, need):
+                    f[m] = math.inf if coin() < p_l else draw(rng)
+            else:
+                delay = self._delay
+                for m in range(lo, need):
+                    if coin() < p_l:
+                        f[m] = math.inf
+                    else:
+                        f[m] = float(delay.sample(rng, 1)[0])
+        elif self._batch_ok:
+            f[lo:need] = self._delay.sample(rng, need - lo)
+        elif draw is not None:
+            for m in range(lo, need):
+                f[m] = draw(rng)
+        else:
+            delay = self._delay
+            for m in range(lo, need):
+                f[m] = float(delay.sample(rng, 1)[0])
+        st.n = need
+
+
+def _replay_message_fates(
+    config: SimulationConfig, n_sent: int, run_index: int
+) -> np.ndarray:
+    """One run's fates through a throwaway replayer (test/debug helper)."""
+    return _FateReplayer(config).fates(run_index, n_sent).copy()
+
+
+# --------------------------------------------------------------------- #
+# Crash-run kernel: closed-form detection per algorithm
+# --------------------------------------------------------------------- #
+
+
+def _detect_nfds(
+    A: np.ndarray,
+    ends: np.ndarray,
+    crash: np.ndarray,
+    eta: float,
+    delta: float,
+) -> np.ndarray:
+    """Detection times for NFD-S replicas from their arrival matrices."""
+    n_rows, n_cols = A.shape
+    if n_cols == 0:
+        return np.zeros(n_rows, dtype=float)
+    delivered = A <= ends[:, None]
+
+    # Last freshness point that fires: i_end = max{i : i·η + δ ≤ end},
+    # clamped to 0.  The float guess is corrected with the same guarded
+    # comparisons the detector uses, so the boundary cases agree exactly.
+    i_end = np.floor((ends - delta) / eta).astype(np.int64)
+    while True:
+        over = i_end * eta + delta > ends
+        if not bool(over.any()):
+            break
+        i_end[over] -= 1
+    while True:
+        under = (i_end + 1) * eta + delta <= ends
+        if not bool(under.any()):
+            break
+        i_end[under] += 1
+    np.maximum(i_end, 0, out=i_end)
+
+    # Final output: trusting iff some delivered sequence number ≥ i_end
+    # (any delivery at all when i_end = 0).
+    any_del = delivered.any(axis=1)
+    max_seq = np.where(
+        any_del, n_cols - np.argmax(delivered[:, ::-1], axis=1), 0
+    )
+    trusting = any_del & (max_seq >= i_end)
+
+    # F_i = earliest delivered arrival among seqs ≥ max(i, 1): a suffix
+    # minimum over the arrival matrix (column c holds seq c+1).
+    a_del = np.where(delivered, A, np.inf)
+    sufmin = np.minimum.accumulate(a_del[:, ::-1], axis=1)[:, ::-1]
+    i_max = int(i_end.max())
+    idx = np.arange(i_max + 1, dtype=np.int64)
+    src = np.maximum(idx, 1) - 1
+    in_range = src < n_cols
+    f_mat = np.full((n_rows, i_max + 1), np.inf)
+    f_mat[:, in_range] = sufmin[:, src[in_range]]
+
+    # Last window trusted just before its successor freshness point.
+    tau_next = (idx + 1) * eta + delta
+    qual = (f_mat < tau_next[None, :]) & (idx[None, :] <= i_end[:, None])
+    has_l = qual.any(axis=1)
+    last_l = i_max - np.argmax(qual[:, ::-1], axis=1)
+    t_star = (last_l + 1) * eta + delta
+    return np.where(
+        trusting,
+        np.inf,
+        np.where(has_l, np.maximum(0.0, t_star - crash), 0.0),
+    )
+
+
+def _detect_sfd(
+    A: np.ndarray,
+    sends: np.ndarray,
+    ends: np.ndarray,
+    crash: np.ndarray,
+    timeout: float,
+    cutoff: Optional[float],
+) -> np.ndarray:
+    """Detection times for SFD replicas from their arrival matrices."""
+    n_rows, n_cols = A.shape
+    if n_cols == 0:
+        return np.zeros(n_rows, dtype=float)
+    accepted = A <= ends[:, None]
+    if cutoff is not None:
+        # The detector measures the delay as receive − send on the float
+        # values it sees, so the filter uses A − σ rather than the raw
+        # drawn delay (the round-trip can differ in the last ulp).
+        accepted &= (A - sends[None, :]) <= cutoff
+    has = accepted.any(axis=1)
+    b_last = np.max(np.where(accepted, A, -np.inf), axis=1)
+    expiry = b_last + timeout
+    return np.where(
+        ~has,
+        0.0,
+        np.where(expiry > ends, np.inf, np.maximum(0.0, expiry - crash)),
+    )
+
+
+def _detect_freshness(
+    A: np.ndarray,
+    ends: np.ndarray,
+    crash: np.ndarray,
+    spec: CrashKernelSpec,
+) -> np.ndarray:
+    """Detection times for NFD-U / NFD-E replicas."""
+    n_rows, n_cols = A.shape
+    if n_cols == 0:
+        return np.zeros(n_rows, dtype=float)
+    # Receipts in arrival order; the stable sort keeps equal arrivals in
+    # sequence order, which is the engine's scheduling order for them.
+    a_del = np.where(A <= ends[:, None], A, np.inf)
+    order = np.argsort(a_del, axis=1, kind="stable")
+    e_t = np.take_along_axis(a_del, order, axis=1)
+    e_seq = order + 1  # column c carries seq c+1
+    valid = np.isfinite(e_t)
+
+    # Effective receipts: strict running maxima of the sequence number.
+    seq_v = np.where(valid, e_seq, 0)
+    cummax = np.maximum.accumulate(seq_v, axis=1)
+    prev = np.concatenate(
+        [np.zeros((n_rows, 1), dtype=cummax.dtype), cummax[:, :-1]], axis=1
+    )
+    eff = valid & (seq_v > prev)
+    count = eff.sum(axis=1)
+
+    # Left-pack the effective receipts so receipt ordinal = column.
+    pack = np.argsort(~eff, axis=1, kind="stable")
+    t = np.take_along_axis(e_t, pack, axis=1)
+    s = np.take_along_axis(e_seq, pack, axis=1)
+    pos = np.arange(n_cols)[None, :]
+    active = pos < count[:, None]
+    t = np.where(active, t, np.inf)
+    s = np.where(active, s, 0)
+
+    # τ per effective receipt, with the detectors' exact float grouping.
+    if spec.kind == "nfdu":
+        ea_fn = spec.expected_arrival
+        assert ea_fn is not None
+        ea_tab = np.array(
+            [float(ea_fn(j)) for j in range(2, n_cols + 2)], dtype=float
+        )
+        tau = np.where(
+            active, ea_tab[np.maximum(s, 1) - 1] + spec.alpha, -np.inf
+        )
+    else:
+        win = spec.window
+        eta = spec.eta
+        norm = np.where(active, t - eta * s, 0.0)
+        tau = np.empty((n_rows, n_cols), dtype=float)
+        rolling = np.zeros(n_rows, dtype=float)
+        for r in range(int(count.max())):
+            rolling = rolling + norm[:, r]
+            if r >= win:
+                rolling = rolling - norm[:, r - win]
+            n_r = min(r + 1, win)
+            tau[:, r] = (rolling / n_r + eta * (s[:, r] + 1)) + spec.alpha
+        tau = np.where(active, tau, -np.inf)
+
+    rows = np.arange(n_rows)
+    has = count > 0
+    last = np.maximum(count - 1, 0)
+    undetected = has & (tau[rows, last] > ends)
+
+    # Last *fresh* receipt (arrived before its own freshness point); the
+    # trust it establishes ends at its timer or at the next effective
+    # receipt (then stale), whichever the engine reaches first.
+    fresh = active & (tau > t)
+    has_m = fresh.any(axis=1)
+    m_prime = n_cols - 1 - np.argmax(fresh[:, ::-1], axis=1)
+    t_ext = np.concatenate([t, np.full((n_rows, 1), np.inf)], axis=1)
+    t_star = np.minimum(tau[rows, m_prime], t_ext[rows, m_prime + 1])
+    return np.where(
+        ~has,
+        0.0,
+        np.where(
+            undetected,
+            np.inf,
+            np.where(has_m, np.maximum(0.0, t_star - crash), 0.0),
+        ),
+    )
+
+
+def _crash_batch(
+    spec: CrashKernelSpec,
+    replayer: _FateReplayer,
+    crash_times: np.ndarray,
+    index0: int,
+    settle: float,
+    sends: np.ndarray,
+) -> np.ndarray:
+    """Detection times for one contiguous batch of crash runs."""
+    ends = crash_times + settle
+    n_sent = np.searchsorted(sends, crash_times, side="left")
+    n_cols = int(n_sent.max()) if n_sent.size else 0
+    n_rows = crash_times.size
+    A = np.full((n_rows, n_cols), np.inf)
+    for r in range(n_rows):
+        n = int(n_sent[r])
+        d = replayer.fates(index0 + r, n)
+        A[r, :n] = sends[:n] + d
+    if spec.kind == "nfds":
+        return _detect_nfds(A, ends, crash_times, spec.eta, spec.delta)
+    if spec.kind == "sfd":
+        return _detect_sfd(
+            A, sends[:n_cols], ends, crash_times, spec.timeout, spec.cutoff
+        )
+    return _detect_freshness(A, ends, crash_times, spec)
+
+
+def run_crash_runs_batched(
+    detector_factory: DetectorFactory,
+    config: SimulationConfig,
+    n_runs: int,
+    batch_size: int = 64,
+    jobs: Optional[int] = 1,
+    crash_window: Optional[tuple] = None,
+    settle_time: Optional[float] = None,
+    keep_traces: bool = False,
+    progress=None,
+    with_stats: bool = False,
+):
+    """Batched :func:`repro.sim.runner.run_crash_runs` — same results.
+
+    Replicas are grouped into batches of ``batch_size`` and each batch
+    is evaluated by one vectorized kernel pass; batches fan out over
+    ``jobs`` workers (batch within a worker × workers across cores).
+    Crash times, per-run streams and the detection semantics are those
+    of the serial runner, so the output is bit-identical for every
+    ``(batch_size, jobs)`` combination.
+
+    When no closed-form kernel applies — unknown detector type,
+    non-perfect clocks, or ``keep_traces=True`` (the kernel never builds
+    traces) — this transparently falls back to
+    :func:`repro.sim.parallel.run_crash_runs_parallel`.
+    """
+    if batch_size < 1:
+        raise InvalidParameterError(
+            f"batch_size must be >= 1, got {batch_size}"
+        )
+    spec = (
+        None if keep_traces else crash_kernel_spec(detector_factory, config)
+    )
+    if spec is None:
+        return run_crash_runs_parallel(
+            detector_factory,
+            config,
+            n_runs,
+            jobs=jobs,
+            crash_window=crash_window,
+            settle_time=settle_time,
+            keep_traces=keep_traces,
+            progress=progress,
+            with_stats=with_stats,
+        )
+    crash_times, settle = _prepare_crash_runs(
+        config, n_runs, crash_window, settle_time
+    )
+    sends = _send_schedule(config.eta, float(crash_times.max()))
+    spans = chunk_spans(n_runs, int(batch_size))
+    replayer = _FateReplayer(config)
+
+    def span_fn(span: Tuple[int, int]) -> np.ndarray:
+        start, stop = span
+        return _crash_batch(
+            spec, replayer, crash_times[start:stop], start, settle, sends
+        )
+
+    outs, stats = parallel_map(
+        span_fn,
+        spans,
+        jobs=jobs,
+        chunk_size=1,
+        progress=progress,
+        with_stats=True,
+    )
+    detections = np.concatenate(outs)
+    result = CrashRunResult(
+        detection_times=detections, crash_times=crash_times, traces=[]
+    )
+    return (result, stats) if with_stats else result
+
+
+# --------------------------------------------------------------------- #
+# Multi-seed batching for the failure-free accuracy kernels
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class AccuracyTask:
+    """One failure-free fastsim evaluation: kernel kind + its kwargs.
+
+    ``kwargs`` are exactly the keyword arguments of the corresponding
+    serial kernel (``simulate_<kind>_fast``), so a task runs identically
+    through :func:`run_accuracy_task` or a batched executor.
+    """
+
+    kind: str  # "nfds" | "nfdu" | "nfde" | "sfd"
+    kwargs: Dict[str, Any]
+
+
+_SERIAL_KERNELS = {
+    "nfds": simulate_nfds_fast,
+    "nfdu": simulate_nfdu_fast,
+    "nfde": simulate_nfde_fast,
+    "sfd": simulate_sfd_fast,
+}
+
+# Shared loop-schedule defaults of the serial kernels; batching groups
+# tasks by the resolved values so lockstep rows draw identical chunks.
+_SCHEDULE_DEFAULTS = {
+    "target_mistakes": 500,
+    "max_heartbeats": 200_000_000,
+    "chunk_size": 4_000_000,
+}
+
+
+def run_accuracy_task(task: AccuracyTask) -> FastAccuracyResult:
+    """Run one task through its serial kernel."""
+    if task.kind not in _SERIAL_KERNELS:
+        raise InvalidParameterError(f"unknown accuracy kind {task.kind!r}")
+    return _SERIAL_KERNELS[task.kind](**task.kwargs)
+
+
+def _schedule_key(kwargs: Dict[str, Any]) -> Tuple[int, int, int]:
+    return tuple(
+        int(kwargs.get(name, default))
+        for name, default in _SCHEDULE_DEFAULTS.items()
+    )
+
+
+class _NFDSRow:
+    """Per-row state of one lockstep NFD-S run (mirrors the serial body)."""
+
+    def __init__(self, kwargs: Dict[str, Any]) -> None:
+        self.eta = float(kwargs["eta"])
+        self.delta = float(kwargs["delta"])
+        self.loss = float(kwargs["loss_probability"])
+        self.delay = kwargs["delay"]
+        self.warmup = float(kwargs.get("warmup", 0.0))
+        _validate_common(self.eta, self.loss, 1, 1, self.warmup)
+        if self.delta < 0:
+            raise InvalidParameterError(
+                f"delta must be >= 0, got {self.delta}"
+            )
+        self.k = int(math.ceil(self.delta / self.eta - 1e-12))
+        self.rng = np.random.default_rng(kwargs.get("seed", 0))
+        self.warming = self.warmup > 0.0
+        self.s_times: List[np.ndarray] = []
+        self.durations: List[np.ndarray] = []
+        self.n_s = 0
+        self.suspect_time = 0.0
+        self.windows_done = 0
+        self.carry = np.empty(0, dtype=float)
+        self.prev_f: Optional[float] = None
+        self.open_mistake_start: Optional[float] = None
+        self.heartbeats = 0
+        self.active = True
+        self.result: Optional[FastAccuracyResult] = None
+
+    def step(self, f: np.ndarray, idx: np.ndarray, carry_vals: np.ndarray):
+        """One chunk of accounting; ``f`` is this row of the 2-D windowed
+        minimum, ``idx`` the shared window-index vector.  Line for line
+        the serial :func:`simulate_nfds_fast` chunk body."""
+        self.carry = carry_vals.copy()
+        m = f.shape[0]
+        tau = idx * self.eta + self.delta
+        tau_next = tau + self.eta
+        if self.warming:
+            nskip = int(np.searchsorted(tau, self.warmup, side="left"))
+            if nskip >= m:
+                self.prev_f = float(f[-1])
+                return
+            if nskip:
+                self.prev_f = float(f[nskip - 1])
+                f = f[nskip:]
+                tau = tau[nskip:]
+                tau_next = tau_next[nskip:]
+                m -= nskip
+            self.warming = False
+
+        self.suspect_time += float(
+            np.sum(np.clip(np.minimum(f, tau_next) - tau, 0.0, self.eta))
+        )
+        self.windows_done += m
+
+        f_prev = np.empty(m, dtype=float)
+        f_prev[1:] = f[:-1]
+        f_prev[0] = np.inf if self.prev_f is None else self.prev_f
+        s_mask = (f > tau) & (f_prev < tau)
+        s_local = np.nonzero(s_mask)[0]
+        g_local = np.nonzero(f < tau_next)[0]
+
+        if self.open_mistake_start is not None and g_local.size:
+            end = float(f[g_local[0]])
+            self.durations.append(
+                np.array([end - self.open_mistake_start], dtype=float)
+            )
+            self.open_mistake_start = None
+
+        if s_local.size:
+            pos = np.searchsorted(g_local, s_local, side="left")
+            closed = pos < g_local.size
+            closed_idx = s_local[closed]
+            ends = f[g_local[pos[closed]]]
+            self.durations.append(ends - tau[closed_idx])
+            if int((~closed).sum()):
+                self.open_mistake_start = float(tau[s_local[-1]])
+            self.s_times.append(tau[s_local])
+            self.n_s += int(s_local.size)
+
+        self.prev_f = float(f[-1])
+
+    def finish(self, truncated: bool) -> None:
+        self.active = False
+        all_s = (
+            np.concatenate(self.s_times)
+            if self.s_times
+            else np.empty(0, dtype=float)
+        )
+        all_d = (
+            np.concatenate(self.durations)
+            if self.durations
+            else np.empty(0, dtype=float)
+        )
+        self.result = FastAccuracyResult(
+            algorithm="nfd-s",
+            n_heartbeats=self.heartbeats,
+            total_time=self.windows_done * self.eta,
+            suspect_time=self.suspect_time,
+            s_transition_times=all_s,
+            mistake_durations=all_d,
+            truncated=truncated,
+        )
+
+
+def simulate_nfds_fast_batch(
+    tasks: Sequence[Dict[str, Any]],
+) -> List[FastAccuracyResult]:
+    """Lockstep multi-seed NFD-S runs, bit-identical to serial calls.
+
+    Every task dict holds :func:`simulate_nfds_fast` keyword arguments.
+    All tasks must share the chunk schedule (``target_mistakes``,
+    ``max_heartbeats``, ``chunk_size``) and the window width ``k`` —
+    that keeps all rows on the same draw sizes, so each row's generator
+    is consumed exactly as the serial kernel would consume it; ``eta``,
+    ``delta``, ``delay``, ``loss_probability``, ``seed`` and ``warmup``
+    are free per row.  The windowed-minimum passes — the kernel's hot
+    loop — run once over the whole ``(rows, chunk)`` matrix.
+    """
+    if not tasks:
+        return []
+    keys = {_schedule_key(kw) for kw in tasks}
+    if len(keys) != 1:
+        raise InvalidParameterError(
+            "all batched NFD-S tasks must share target_mistakes/"
+            f"max_heartbeats/chunk_size; got {sorted(keys)}"
+        )
+    target, max_heartbeats, chunk_size = keys.pop()
+    _validate_common(1.0, 0.0, target, max_heartbeats)
+    rows = [_NFDSRow(kw) for kw in tasks]
+    ks = {row.k for row in rows}
+    if len(ks) != 1:
+        raise InvalidParameterError(
+            f"all batched NFD-S tasks must share k = ceil(delta/eta); "
+            f"got {sorted(ks)}"
+        )
+    k = ks.pop()
+
+    heartbeats = 0
+    carry_start_seq = 1
+    carry_len = 0
+    while True:
+        for row in rows:
+            if row.active and row.n_s >= target:
+                row.finish(truncated=False)
+        live = [row for row in rows if row.active]
+        if not live:
+            break
+        if heartbeats >= max_heartbeats:
+            for row in live:
+                row.finish(truncated=True)
+            break
+        draw = int(min(chunk_size, max_heartbeats - heartbeats))
+        if heartbeats + draw < k + 1:
+            draw = (k + 1) - heartbeats
+        first_new = carry_start_seq + carry_len
+        new_seqs = np.arange(first_new, first_new + draw, dtype=float)
+        heartbeats += draw
+        length = carry_len + draw
+        mats = np.empty((len(live), length), dtype=float)
+        for j, row in enumerate(live):
+            mats[j, :carry_len] = row.carry
+            mats[j, carry_len:] = _draw_arrivals(
+                row.delay, row.loss, row.rng, new_seqs, row.eta
+            )
+            row.heartbeats = heartbeats
+
+        m = length - k
+        if m <= 0:
+            for j, row in enumerate(live):
+                row.carry = mats[j].copy()
+            carry_len = length
+            continue
+        f2 = mats[:, :m].copy()
+        for j in range(1, k + 1):
+            np.minimum(f2, mats[:, j : j + m], out=f2)
+        idx = np.arange(carry_start_seq, carry_start_seq + m, dtype=float)
+        for j, row in enumerate(live):
+            row.step(f2[j], idx, mats[j, m:])
+        carry_start_seq += m
+        carry_len = k
+
+    return [row.result for row in rows]  # type: ignore[misc]
+
+
+class _SFDRow:
+    """Per-row state of one lockstep SFD run (mirrors the serial body)."""
+
+    def __init__(self, kwargs: Dict[str, Any]) -> None:
+        self.eta = float(kwargs["eta"])
+        self.timeout = float(kwargs["timeout"])
+        self.loss = float(kwargs["loss_probability"])
+        self.delay = kwargs["delay"]
+        cutoff = kwargs.get("cutoff", None)
+        self.cutoff = None if cutoff is None else float(cutoff)
+        self.warmup = float(kwargs.get("warmup", 0.0))
+        _validate_common(self.eta, self.loss, 1, 1, self.warmup)
+        if self.timeout <= 0:
+            raise InvalidParameterError(
+                f"timeout must be positive, got {self.timeout}"
+            )
+        if self.cutoff is not None and self.cutoff <= 0:
+            raise InvalidParameterError(
+                f"cutoff must be positive, got {self.cutoff}"
+            )
+        self.rng = np.random.default_rng(kwargs.get("seed", 0))
+        self.warming = self.warmup > 0.0
+        self.s_times: List[np.ndarray] = []
+        self.durations: List[np.ndarray] = []
+        self.n_s = 0
+        self.suspect_time = 0.0
+        self.total_time = 0.0
+        self.last_accept: Optional[float] = None
+        self.pend = np.empty(0, dtype=float)
+        self.heartbeats = 0
+        self.active = True
+        self.result: Optional[FastAccuracyResult] = None
+
+    def step(self, seqs: np.ndarray, next_seq: int, draw: int) -> None:
+        """One chunk, line for line the serial :func:`simulate_sfd_fast`
+        body (the draws must stay per-row: each row owns a generator)."""
+        d = self.delay.sample(self.rng, draw).astype(float, copy=False)
+        if self.loss > 0.0:
+            lost = self.rng.random(draw) < self.loss
+            d = np.where(lost, np.inf, d)
+        if self.cutoff is not None:
+            d = np.where(d > self.cutoff, np.inf, d)
+        arrivals = seqs * self.eta + d
+
+        new = arrivals[np.isfinite(arrivals)]
+        new.sort()
+        boundary = (next_seq - 1) * self.eta
+        split_new = int(np.searchsorted(new, boundary, side="right"))
+        split_pend = int(np.searchsorted(self.pend, boundary, side="right"))
+        b = _merge_sorted(self.pend[:split_pend], new[:split_new])
+        self.pend = _merge_sorted(self.pend[split_pend:], new[split_new:])
+        if b.size == 0:
+            return
+        if self.warming:
+            b = b[b >= self.warmup]
+            if b.size == 0:
+                return
+            self.warming = False
+        if self.last_accept is not None:
+            b = np.concatenate([[self.last_accept], b])
+        if b.size >= 2:
+            gaps = np.diff(b)
+            self.total_time += float(b[-1] - b[0])
+            over = gaps > self.timeout
+            excess = gaps[over] - self.timeout
+            self.suspect_time += float(np.sum(excess))
+            starts = b[:-1][over] + self.timeout
+            if starts.size:
+                self.s_times.append(starts)
+                self.durations.append(excess)
+                self.n_s += int(starts.size)
+        self.last_accept = float(b[-1])
+
+    def finish(self, truncated: bool) -> None:
+        self.active = False
+        all_s = (
+            np.concatenate(self.s_times)
+            if self.s_times
+            else np.empty(0, dtype=float)
+        )
+        all_d = (
+            np.concatenate(self.durations)
+            if self.durations
+            else np.empty(0, dtype=float)
+        )
+        self.result = FastAccuracyResult(
+            algorithm="sfd" if self.cutoff is None else "sfd-cutoff",
+            n_heartbeats=self.heartbeats,
+            total_time=self.total_time,
+            suspect_time=self.suspect_time,
+            s_transition_times=all_s,
+            mistake_durations=all_d,
+            truncated=truncated,
+        )
+
+
+def simulate_sfd_fast_batch(
+    tasks: Sequence[Dict[str, Any]],
+) -> List[FastAccuracyResult]:
+    """Lockstep multi-seed SFD runs, bit-identical to serial calls.
+
+    Every task dict holds :func:`simulate_sfd_fast` keyword arguments;
+    all tasks must share the chunk schedule (``target_mistakes``,
+    ``max_heartbeats``, ``chunk_size``); ``eta``, ``timeout``,
+    ``cutoff``, ``delay``, ``loss_probability``, ``seed`` and ``warmup``
+    are free per row.  Rows advance through the same chunk sequence —
+    sharing the sequence-number bookkeeping — and deactivate
+    individually when they hit their mistake target.
+    """
+    if not tasks:
+        return []
+    keys = {_schedule_key(kw) for kw in tasks}
+    if len(keys) != 1:
+        raise InvalidParameterError(
+            "all batched SFD tasks must share target_mistakes/"
+            f"max_heartbeats/chunk_size; got {sorted(keys)}"
+        )
+    target, max_heartbeats, chunk_size = keys.pop()
+    _validate_common(1.0, 0.0, target, max_heartbeats)
+    rows = [_SFDRow(kw) for kw in tasks]
+
+    heartbeats = 0
+    next_seq = 1
+    while True:
+        for row in rows:
+            if row.active and row.n_s >= target:
+                row.finish(truncated=False)
+        live = [row for row in rows if row.active]
+        if not live:
+            break
+        if heartbeats >= max_heartbeats:
+            for row in live:
+                row.finish(truncated=True)
+            break
+        draw = int(min(chunk_size, max_heartbeats - heartbeats))
+        seqs = np.arange(next_seq, next_seq + draw, dtype=float)
+        next_seq += draw
+        heartbeats += draw
+        for row in live:
+            row.step(seqs, next_seq, draw)
+            row.heartbeats = heartbeats
+
+    return [row.result for row in rows]  # type: ignore[misc]
+
+
+def run_accuracy_tasks_batched(
+    tasks: Sequence[AccuracyTask],
+    batch_size: int = 64,
+    jobs: Optional[int] = 1,
+    with_stats: bool = False,
+):
+    """Run accuracy tasks with multi-seed batching; results in task order.
+
+    NFD-S tasks sharing a chunk schedule and window width, and SFD tasks
+    sharing a chunk schedule, are grouped into lockstep batches of up to
+    ``batch_size`` rows; everything else (NFD-U/E, odd-one-out
+    schedules) runs through its serial kernel.  The work units fan out
+    over ``jobs`` workers.  Every result is bit-identical to
+    :func:`run_accuracy_task` on the same task, for any ``batch_size``
+    and ``jobs``.
+    """
+    if batch_size < 1:
+        raise InvalidParameterError(
+            f"batch_size must be >= 1, got {batch_size}"
+        )
+    tasks = list(tasks)
+    groups: Dict[Any, List[int]] = {}
+    for i, task in enumerate(tasks):
+        if task.kind == "nfds":
+            eta = float(task.kwargs["eta"])
+            delta = float(task.kwargs["delta"])
+            k = int(math.ceil(delta / eta - 1e-12))
+            key: Any = ("nfds", k, _schedule_key(task.kwargs))
+        elif task.kind == "sfd":
+            key = ("sfd", _schedule_key(task.kwargs))
+        else:
+            key = ("serial", i)
+        groups.setdefault(key, []).append(i)
+
+    units: List[Tuple[str, List[int]]] = []
+    for key, members in groups.items():
+        kind = key[0]
+        if kind in ("nfds", "sfd"):
+            for start in range(0, len(members), batch_size):
+                units.append((kind, members[start : start + batch_size]))
+        else:
+            units.append(("serial", members))
+
+    def unit_fn(unit: Tuple[str, List[int]]) -> List[FastAccuracyResult]:
+        kind, idxs = unit
+        if kind == "nfds":
+            return simulate_nfds_fast_batch([tasks[i].kwargs for i in idxs])
+        if kind == "sfd":
+            return simulate_sfd_fast_batch([tasks[i].kwargs for i in idxs])
+        return [run_accuracy_task(tasks[i]) for i in idxs]
+
+    outs, stats = parallel_map(
+        unit_fn, units, jobs=jobs, chunk_size=1, with_stats=True
+    )
+    results: List[Optional[FastAccuracyResult]] = [None] * len(tasks)
+    for (_, idxs), unit_results in zip(units, outs):
+        for i, res in zip(idxs, unit_results):
+            results[i] = res
+    return (results, stats) if with_stats else results

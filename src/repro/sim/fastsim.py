@@ -136,12 +136,33 @@ def _draw_arrivals(
     seqs: np.ndarray,
     eta: float,
 ) -> np.ndarray:
-    """Arrival times ``A_j = j·η + d_j`` with ``∞`` for lost messages."""
+    """Arrival times ``A_j = j·η + d_j`` with ``∞`` for lost messages.
+
+    ``seqs`` may be any numeric dtype; the product with the float ``eta``
+    promotes element-wise, so passing the int64 sequence vector directly
+    avoids an extra float copy per chunk.
+    """
     d = delay.sample(rng, seqs.size).astype(float, copy=False)
     if loss_probability > 0.0:
         lost = rng.random(seqs.size) < loss_probability
         d = np.where(lost, np.inf, d)
     return seqs * eta + d
+
+
+def _merge_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Merge two individually sorted arrays into one sorted array.
+
+    A stable mergesort on the concatenation detects the two pre-sorted
+    runs and merges them in O(n), so callers that keep their buffers
+    sorted never pay for a full re-sort.
+    """
+    if a.size == 0:
+        return b
+    if b.size == 0:
+        return a
+    out = np.concatenate([a, b])
+    out.sort(kind="stable")
+    return out
 
 
 # --------------------------------------------------------------------- #
@@ -195,8 +216,12 @@ def simulate_nfds_fast(
             truncated = True
             break
         draw = int(min(chunk_size, max_heartbeats - heartbeats))
-        # Need at least k+1 arrivals beyond the carry to form one window.
-        draw = max(draw, k + 1)
+        # The run needs k+1 arrivals in total before any window can form;
+        # top up the draw only to reach that floor (the single case allowed
+        # past max_heartbeats, when the cap itself is < k+1), so the final
+        # chunk never overshoots the documented heartbeat budget.
+        if heartbeats + draw < k + 1:
+            draw = (k + 1) - heartbeats
         first_new = carry_start_seq + carry_arrivals.size
         new_seqs = np.arange(first_new, first_new + draw, dtype=float)
         new_arrivals = _draw_arrivals(
@@ -381,9 +406,7 @@ def _simulate_freshness_stream(
             break
         draw = int(min(chunk_size, max_heartbeats - heartbeats))
         seqs = np.arange(next_seq, next_seq + draw, dtype=np.int64)
-        arrivals = _draw_arrivals(
-            delay, loss_probability, rng, seqs.astype(float), eta
-        )
+        arrivals = _draw_arrivals(delay, loss_probability, rng, seqs, eta)
         next_seq += draw
         heartbeats += draw
 
@@ -664,11 +687,17 @@ def simulate_sfd_fast(
         next_seq += draw
         heartbeats += draw
 
-        pend = np.concatenate([pend, arrivals[np.isfinite(arrivals)]])
+        new = arrivals[np.isfinite(arrivals)]
+        new.sort()
         boundary = (next_seq - 1) * eta
-        mature = pend <= boundary
-        b = np.sort(pend[mature])
-        pend = pend[~mature]
+        # ``pend`` is kept sorted, so the mature/immature split of both
+        # buffers is a prefix slice and the combination is a linear merge
+        # of sorted runs — only this chunk's fresh arrivals ever get a
+        # full sort.
+        split_new = int(np.searchsorted(new, boundary, side="right"))
+        split_pend = int(np.searchsorted(pend, boundary, side="right"))
+        b = _merge_sorted(pend[:split_pend], new[:split_new])
+        pend = _merge_sorted(pend[split_pend:], new[split_new:])
         if b.size == 0:
             continue
         # Steady-state guard: measurement starts at the first accepted

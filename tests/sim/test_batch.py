@@ -1,0 +1,550 @@
+"""Bit-identity tests for the batched replica kernels.
+
+The invariant under test: for a fixed seed, every result of
+:mod:`repro.sim.batch` — crash detection times, accuracy statistics,
+experiment tables — is *bit-identical* to the serial/event-driven path,
+for every ``batch_size`` and every ``jobs`` value.  Batching is a pure
+execution strategy; it must never be observable in the numbers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.base import HeartbeatFailureDetector, SUSPECT
+from repro.core.nfd_e import NFDE
+from repro.core.nfd_s import NFDS
+from repro.core.nfd_u import NFDU
+from repro.core.simple import SimpleFD
+from repro.errors import InvalidParameterError
+from repro.net.clocks import DriftingClock
+from repro.net.delays import (
+    ConstantDelay,
+    ExponentialDelay,
+    MixtureDelay,
+    UniformDelay,
+)
+from repro.sim.batch import (
+    AccuracyTask,
+    crash_kernel_spec,
+    run_accuracy_task,
+    run_accuracy_tasks_batched,
+    run_crash_runs_batched,
+    simulate_nfds_fast_batch,
+    simulate_sfd_fast_batch,
+)
+from repro.sim.fastsim import simulate_nfds_fast, simulate_sfd_fast
+from repro.sim.runner import CrashRunResult, SimulationConfig, run_crash_runs
+
+BATCH_SIZES = [1, 3, 64]
+JOBS = [1, 2]
+
+
+def _config(seed: int = 42, **kw) -> SimulationConfig:
+    base = dict(
+        eta=1.0,
+        delay=ExponentialDelay(0.02),
+        loss_probability=0.01,
+        horizon=80.0,
+        warmup=0.0,
+        seed=seed,
+    )
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+DETECTORS = {
+    "nfds": lambda: NFDS(eta=1.0, delta=1.0),
+    "nfde": lambda: NFDE(eta=1.0, alpha=0.9, window=8),
+    "nfdu": lambda: NFDU(
+        eta=1.0, alpha=0.9, expected_arrival=lambda s: s * 1.0 + 0.02
+    ),
+    "sfd_cutoff": lambda: SimpleFD(timeout=1.7, cutoff=0.3),
+    "sfd_plain": lambda: SimpleFD(timeout=2.0),
+}
+
+
+def _assert_same_result(a: CrashRunResult, b: CrashRunResult) -> None:
+    assert np.array_equal(a.crash_times, b.crash_times)
+    assert np.array_equal(a.detection_times, b.detection_times)
+
+
+class TestCrashKernelBitIdentity:
+    @pytest.mark.parametrize("name", sorted(DETECTORS))
+    def test_matches_event_driven_all_batch_sizes(self, name):
+        factory = DETECTORS[name]
+        config = _config()
+        ref = run_crash_runs(factory, config, n_runs=24, settle_time=40.0)
+        for batch_size in BATCH_SIZES:
+            for jobs in JOBS:
+                got = run_crash_runs_batched(
+                    factory,
+                    config,
+                    n_runs=24,
+                    batch_size=batch_size,
+                    jobs=jobs,
+                    settle_time=40.0,
+                )
+                _assert_same_result(ref, got)
+
+    @pytest.mark.parametrize("name", sorted(DETECTORS))
+    def test_matches_under_heavy_loss(self, name):
+        # Heavy loss exercises the premature-suspicion and no-delivery
+        # branches, and the data-dependent RNG interleave of LossyLink.
+        factory = DETECTORS[name]
+        config = _config(
+            seed=7,
+            delay=ExponentialDelay(0.3),
+            loss_probability=0.35,
+            horizon=60.0,
+        )
+        ref = run_crash_runs(factory, config, n_runs=20, settle_time=6.0)
+        got = run_crash_runs_batched(
+            factory, config, n_runs=20, batch_size=7, settle_time=6.0
+        )
+        _assert_same_result(ref, got)
+        assert ref.n_premature > 0  # regime check: branch was exercised
+
+    def test_matches_with_mixture_delay_and_undetected(self):
+        # Mixture delays draw a different RNG pattern per sample; a long
+        # tail plus a short settle also produces never-detected runs.
+        mix = MixtureDelay(
+            [ExponentialDelay(0.05), UniformDelay(0.5, 2.5)], [0.7, 0.3]
+        )
+        config = _config(
+            seed=9, eta=0.5, delay=mix, loss_probability=0.1, horizon=60.0
+        )
+        factory = DETECTORS["nfds"]
+        ref = run_crash_runs(factory, config, n_runs=20, settle_time=6.0)
+        got = run_crash_runs_batched(
+            factory, config, n_runs=20, batch_size=64, settle_time=6.0
+        )
+        _assert_same_result(ref, got)
+        assert ref.n_undetected > 0  # regime check
+
+    def test_matches_with_constant_delay_ties(self):
+        # Constant delays make arrivals land exactly on freshness points
+        # and timer deadlines — the tie cases of the closed forms.
+        config = _config(
+            seed=11, delay=ConstantDelay(0.25), loss_probability=0.2,
+            horizon=60.0,
+        )
+        for name in sorted(DETECTORS):
+            ref = run_crash_runs(
+                DETECTORS[name], config, n_runs=16, settle_time=8.0
+            )
+            got = run_crash_runs_batched(
+                DETECTORS[name], config, n_runs=16, batch_size=5,
+                settle_time=8.0,
+            )
+            _assert_same_result(ref, got)
+
+    def test_batch_size_never_changes_results(self):
+        config = _config(seed=3)
+        factory = DETECTORS["sfd_cutoff"]
+        results = [
+            run_crash_runs_batched(
+                factory, config, n_runs=17, batch_size=bs, settle_time=40.0
+            ).detection_times
+            for bs in (1, 2, 5, 17, 1000)
+        ]
+        for other in results[1:]:
+            assert np.array_equal(results[0], other)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(InvalidParameterError):
+            run_crash_runs_batched(
+                DETECTORS["nfds"], _config(), n_runs=4, batch_size=0
+            )
+
+
+class TestCrashKernelSpec:
+    def test_known_detectors_supported(self):
+        config = _config()
+        for name, factory in DETECTORS.items():
+            spec = crash_kernel_spec(factory, config)
+            assert spec is not None, name
+
+    def test_unknown_detector_falls_back(self):
+        class OddDetector(HeartbeatFailureDetector):
+            def _on_start(self):
+                self._set_output(SUSPECT)
+
+            def on_heartbeat(self, heartbeat):
+                pass
+
+        config = _config()
+        assert crash_kernel_spec(OddDetector, config) is None
+        # The public API still works — via the event-driven fallback.
+        ref = run_crash_runs(OddDetector, config, n_runs=5, settle_time=10.0)
+        got = run_crash_runs_batched(
+            OddDetector, config, n_runs=5, batch_size=2, settle_time=10.0
+        )
+        _assert_same_result(ref, got)
+
+    def test_subclass_not_matched(self):
+        # Exact types only: a subclass may override behaviour the closed
+        # forms do not model.
+        class TweakedNFDS(NFDS):
+            pass
+
+        assert (
+            crash_kernel_spec(lambda: TweakedNFDS(eta=1.0, delta=1.0), _config())
+            is None
+        )
+
+    def test_nonperfect_clock_falls_back(self):
+        config = _config(monitor_clock=DriftingClock(drift=1e-4))
+        assert crash_kernel_spec(DETECTORS["nfds"], config) is None
+        ref = run_crash_runs(
+            DETECTORS["nfds"], config, n_runs=6, settle_time=10.0
+        )
+        got = run_crash_runs_batched(
+            DETECTORS["nfds"], config, n_runs=6, batch_size=3, settle_time=10.0
+        )
+        _assert_same_result(ref, got)
+
+    def test_keep_traces_falls_back(self):
+        got = run_crash_runs_batched(
+            DETECTORS["nfds"],
+            _config(),
+            n_runs=4,
+            batch_size=2,
+            settle_time=10.0,
+            keep_traces=True,
+        )
+        assert len(got.traces) == 4
+
+
+class TestPrematureProperty:
+    def test_counts_exact_zeros(self):
+        result = CrashRunResult(
+            detection_times=np.array([0.0, 1.5, math.inf, 0.0]),
+            crash_times=np.zeros(4),
+        )
+        assert result.n_premature == 2
+        assert result.n_undetected == 1
+
+
+def _assert_same_accuracy(a, b):
+    assert a.algorithm == b.algorithm
+    assert a.n_heartbeats == b.n_heartbeats
+    assert a.total_time == b.total_time
+    assert a.suspect_time == b.suspect_time
+    assert np.array_equal(a.s_transition_times, b.s_transition_times)
+    assert np.array_equal(a.mistake_durations, b.mistake_durations)
+    assert a.truncated == b.truncated
+
+
+SCHED = dict(target_mistakes=50, max_heartbeats=500_000, chunk_size=4096)
+
+
+class TestMultiSeedKernels:
+    def test_nfds_batch_rows_equal_serial(self):
+        tasks = [
+            dict(
+                eta=1.0,
+                delta=1.0,
+                loss_probability=0.01,
+                delay=ExponentialDelay(0.02),
+                seed=s,
+                warmup=w,
+                **SCHED,
+            )
+            for s, w in [(0, 0.0), (1, 5.0), (2, 0.0), (3, 12.5)]
+        ]
+        # Heterogeneous parameters are allowed as long as k matches.
+        tasks.append(
+            dict(
+                eta=0.5,
+                delta=0.4,
+                loss_probability=0.05,
+                delay=UniformDelay(0.0, 0.3),
+                seed=9,
+                **SCHED,
+            )
+        )
+        ref = [simulate_nfds_fast(**kw) for kw in tasks]
+        got = simulate_nfds_fast_batch(tasks)
+        for r, g in zip(ref, got):
+            _assert_same_accuracy(r, g)
+
+    def test_sfd_batch_rows_equal_serial(self):
+        tasks = [
+            dict(
+                eta=1.0,
+                timeout=1.2,
+                loss_probability=0.02,
+                delay=ExponentialDelay(0.1),
+                cutoff=c,
+                seed=s,
+                warmup=w,
+                **SCHED,
+            )
+            for c, s, w in [
+                (None, 0, 0.0),
+                (0.3, 1, 3.0),
+                (0.15, 2, 0.0),
+                (None, 3, 7.0),
+            ]
+        ]
+        ref = [simulate_sfd_fast(**kw) for kw in tasks]
+        got = simulate_sfd_fast_batch(tasks)
+        for r, g in zip(ref, got):
+            _assert_same_accuracy(r, g)
+
+    def test_truncation_lockstep(self):
+        sched = dict(
+            target_mistakes=10**9, max_heartbeats=5000, chunk_size=777
+        )
+        tasks = [
+            dict(
+                eta=1.0,
+                delta=2.0,
+                loss_probability=0.3,
+                delay=ExponentialDelay(0.5),
+                seed=s,
+                **sched,
+            )
+            for s in (0, 1)
+        ]
+        ref = [simulate_nfds_fast(**kw) for kw in tasks]
+        got = simulate_nfds_fast_batch(tasks)
+        for r, g in zip(ref, got):
+            assert r.truncated and g.truncated
+            _assert_same_accuracy(r, g)
+
+    def test_mismatched_schedule_rejected(self):
+        base = dict(
+            eta=1.0,
+            delta=1.0,
+            loss_probability=0.0,
+            delay=ExponentialDelay(0.02),
+        )
+        with pytest.raises(InvalidParameterError):
+            simulate_nfds_fast_batch(
+                [
+                    dict(chunk_size=100, **base),
+                    dict(chunk_size=200, **base),
+                ]
+            )
+
+    def test_mismatched_k_rejected(self):
+        common = dict(
+            loss_probability=0.0, delay=ExponentialDelay(0.02), **SCHED
+        )
+        with pytest.raises(InvalidParameterError):
+            simulate_nfds_fast_batch(
+                [
+                    dict(eta=1.0, delta=1.0, **common),
+                    dict(eta=1.0, delta=2.5, **common),
+                ]
+            )
+
+    def test_empty_batches(self):
+        assert simulate_nfds_fast_batch([]) == []
+        assert simulate_sfd_fast_batch([]) == []
+        assert run_accuracy_tasks_batched([]) == []
+
+
+class TestAccuracyTaskExecutor:
+    def _mixed_tasks(self):
+        delay = ExponentialDelay(0.05)
+        sched = dict(target_mistakes=40, max_heartbeats=400_000, chunk_size=4096)
+        return [
+            AccuracyTask(
+                "nfds",
+                dict(eta=1.0, delta=1.0, loss_probability=0.01, delay=delay,
+                     seed=1, **sched),
+            ),
+            AccuracyTask(
+                "sfd",
+                dict(eta=1.0, timeout=1.3, loss_probability=0.01, delay=delay,
+                     seed=2, **sched),
+            ),
+            AccuracyTask(
+                "nfde",
+                dict(eta=1.0, alpha=0.8, loss_probability=0.01, delay=delay,
+                     seed=3, window=16, **sched),
+            ),
+            AccuracyTask(
+                "nfds",
+                dict(eta=1.0, delta=0.9, loss_probability=0.02, delay=delay,
+                     seed=4, **sched),
+            ),
+            AccuracyTask(
+                "sfd",
+                dict(eta=1.0, timeout=1.1, loss_probability=0.0, delay=delay,
+                     cutoff=0.2, seed=5, **sched),
+            ),
+            AccuracyTask(
+                "nfdu",
+                dict(eta=1.0, alpha=0.8, loss_probability=0.01, delay=delay,
+                     seed=6, **sched),
+            ),
+            # Odd-one-out schedule: must run, just in its own group.
+            AccuracyTask(
+                "nfds",
+                dict(eta=1.0, delta=1.0, loss_probability=0.01, delay=delay,
+                     seed=7, target_mistakes=20, max_heartbeats=400_000,
+                     chunk_size=4096),
+            ),
+        ]
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    @pytest.mark.parametrize("jobs", JOBS)
+    def test_mixed_kinds_order_and_identity(self, batch_size, jobs):
+        tasks = self._mixed_tasks()
+        ref = [run_accuracy_task(t) for t in tasks]
+        got = run_accuracy_tasks_batched(tasks, batch_size=batch_size, jobs=jobs)
+        for r, g in zip(ref, got):
+            _assert_same_accuracy(r, g)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_accuracy_task(AccuracyTask("bogus", {}))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(InvalidParameterError):
+            run_accuracy_tasks_batched(self._mixed_tasks(), batch_size=0)
+
+
+class TestBatchedExperiments:
+    def test_fig12_batched_equals_serial(self):
+        from repro.experiments.fig12 import run_fig12
+
+        kw = dict(
+            tdu_values=[1.5, 2.0], target_mistakes=20, max_heartbeats=200_000
+        )
+        serial = run_fig12(**kw)
+        batched = run_fig12(batch_size=8, **kw)
+        for a, b in zip(serial, batched):
+            assert a.tdu == b.tdu
+            assert a.analytic_tmr == b.analytic_tmr
+            for field in ("nfds", "nfde", "sfd_l", "sfd_s"):
+                _assert_same_accuracy(getattr(a, field), getattr(b, field))
+
+    def test_detection_time_batched_equals_serial(self):
+        from repro.experiments.detection_time import run_detection_time
+
+        serial = run_detection_time(n_runs=12)
+        batched = run_detection_time(n_runs=12, batch_size=5)
+        assert serial.to_text() == batched.to_text()
+
+    def test_optimality_batched_equals_serial(self):
+        from repro.experiments.optimality import run_optimality
+
+        kw = dict(target_mistakes=20, max_heartbeats=200_000)
+        assert (
+            run_optimality(**kw).to_text()
+            == run_optimality(batch_size=4, **kw).to_text()
+        )
+
+    def test_cutoff_ablation_batched_equals_serial(self):
+        from repro.experiments.cutoff_ablation import run_cutoff_ablation
+
+        kw = dict(target_mistakes=20, max_heartbeats=200_000)
+        assert (
+            run_cutoff_ablation(**kw).to_text()
+            == run_cutoff_ablation(batch_size=16, **kw).to_text()
+        )
+
+
+class TestFastReplay:
+    """The certified sampling shortcuts and the fate-stream cache."""
+
+    def test_scalar_samplers_certify_for_plain_families(self):
+        from repro.net.delays import (
+            GammaDelay,
+            LogNormalDelay,
+            ShiftedExponentialDelay,
+            WeibullDelay,
+        )
+        from repro.sim.batch import _verified_scalar_sampler
+
+        plain = [
+            ExponentialDelay(0.02),
+            ShiftedExponentialDelay(0.01, 0.05),
+            UniformDelay(0.1, 0.5),
+            ConstantDelay(0.3),
+            GammaDelay(2.0, 0.01),
+            WeibullDelay(1.5, 0.02),
+            LogNormalDelay(-4.0, 0.5),
+        ]
+        for delay in plain:
+            assert _verified_scalar_sampler(delay) is not None, delay
+
+    def test_interleaved_families_fall_back(self):
+        from repro.net.delays import EmpiricalDelay
+        from repro.sim.batch import (
+            _verified_batch_sampling,
+            _verified_scalar_sampler,
+        )
+
+        mixture = MixtureDelay(
+            [ExponentialDelay(0.05), UniformDelay(0.5, 2.5)], [0.7, 0.3]
+        )
+        empirical = EmpiricalDelay([0.1, 0.2, 0.3, 0.4])
+        # No scalar shortcut exists for either family.
+        assert _verified_scalar_sampler(mixture) is None
+        assert _verified_scalar_sampler(empirical) is None
+        # A batched mixture draws all component choices before any
+        # values — a different stream order than per-message draws — so
+        # it must fail certification.  (The empirical bootstrap is a
+        # plain per-element integer draw and legitimately certifies.)
+        assert not _verified_batch_sampling(mixture)
+        assert _verified_batch_sampling(empirical)
+
+    def test_subclass_never_certifies(self):
+        from repro.sim.batch import _verified_scalar_sampler
+
+        class Tweaked(ExponentialDelay):
+            def sample(self, rng, size):
+                return super().sample(rng, size) * 2.0
+
+        assert _verified_scalar_sampler(Tweaked(0.02)) is None
+
+    def test_batch_sampling_certifies_without_loss(self):
+        from repro.sim.batch import _verified_batch_sampling
+
+        assert _verified_batch_sampling(ExponentialDelay(0.02))
+        assert _verified_batch_sampling(UniformDelay(0.1, 0.5))
+
+    def test_fate_cache_reuse_is_bit_identical(self):
+        """A second batched call over the same link reuses cached
+        prefixes (and extends them for longer runs) without changing a
+        single value — the detection-time experiment's access pattern."""
+        from repro.sim import batch as batch_mod
+
+        config = _config(seed=99)
+        factory = DETECTORS["nfds"]
+        ref = run_crash_runs(factory, config, n_runs=24, settle_time=40.0)
+        batch_mod._FATES_CACHE.clear()
+        first = run_crash_runs_batched(
+            factory, config, n_runs=10, batch_size=4, settle_time=40.0
+        )
+        cached = run_crash_runs_batched(
+            factory, config, n_runs=24, batch_size=7, settle_time=40.0
+        )
+        assert np.array_equal(
+            first.detection_times, ref.detection_times[:10]
+        ) or first.crash_times.size == 10  # crash times differ with n_runs
+        _assert_same_result(cached, ref)
+
+    def test_fate_cache_shared_across_detector_cases(self):
+        """Different detectors over the same link replay each stream
+        once; the second case must still match its own serial run."""
+        from repro.sim import batch as batch_mod
+
+        config = _config(seed=7)
+        batch_mod._FATES_CACHE.clear()
+        for name in ("nfds", "sfd_cutoff", "nfde"):
+            factory = DETECTORS[name]
+            ref = run_crash_runs(factory, config, n_runs=16, settle_time=40.0)
+            got = run_crash_runs_batched(
+                factory, config, n_runs=16, batch_size=64, settle_time=40.0
+            )
+            _assert_same_result(got, ref)

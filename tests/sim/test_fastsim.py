@@ -275,6 +275,23 @@ class TestStructuralInvariants:
         assert r.truncated
         assert r.n_heartbeats <= 10_000 + 10  # +k slack
 
+    def test_truncation_respects_max_heartbeats_exactly(self):
+        # Regression: the final chunk used to draw a full k+1 top-up and
+        # overshoot max_heartbeats (eta=1, delta=5 → k=5; chunk 7 with a
+        # budget of 10 drew 13).  The clamp must stop at the cap; only a
+        # cap below k+1 itself may be exceeded (no window fits otherwise).
+        r = simulate_nfds_fast(
+            1.0,
+            5.0,
+            0.0,
+            ExponentialDelay(0.02),
+            target_mistakes=100000,
+            max_heartbeats=10,
+            chunk_size=7,
+        )
+        assert r.truncated
+        assert r.n_heartbeats == 10
+
     def test_stops_at_target(self):
         r = simulate_nfds_fast(
             1.0,

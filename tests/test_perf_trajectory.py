@@ -1,0 +1,71 @@
+"""The perf-trajectory harness and its committed artifact.
+
+Tier-1 coverage for ``benchmarks/perf_trajectory.py``: the smoke mode
+must run end to end and produce the documented schema, and the committed
+``BENCH_fastsim.json`` must stay parseable, schema-conformant, and keep
+recording the batched crash kernel's headline win.  Timings themselves
+are machine-dependent and never asserted here beyond sanity.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "benchmarks" / "perf_trajectory.py"
+ARTIFACT = REPO_ROOT / "BENCH_fastsim.json"
+
+
+def _load_module():
+    spec = importlib.util.spec_from_file_location("perf_trajectory", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestSmokeMode:
+    def test_collect_smoke_schema(self):
+        doc = _load_module().collect(smoke=True)
+        assert doc["schema"] == "repro.bench.fastsim/1"
+        assert doc["mode"] == "smoke"
+        for kernel in ("nfds", "sfd"):
+            entry = doc["fastsim_multiseed"][kernel]
+            assert entry["serial_s"] > 0 and entry["batched_s"] > 0
+            assert entry["speedup"] == pytest.approx(
+                entry["serial_s"] / entry["batched_s"], rel=0.02
+            )
+        crash = doc["crash_runs"]
+        assert crash["kernel"]["speedup"] > 0
+        assert crash["experiment"]["speedup"] > 0
+        analytic = doc["analytic"]
+        assert analytic["predict_memoized_s"] < analytic["predict_cold_s"]
+        assert analytic["configure_nfds_s"] > 0
+
+
+class TestCommittedArtifact:
+    def test_artifact_matches_schema(self):
+        doc = json.loads(ARTIFACT.read_text())
+        assert doc["schema"] == "repro.bench.fastsim/1"
+        assert doc["mode"] == "full"
+        assert doc["generated_by"] == "benchmarks/perf_trajectory.py"
+        assert set(doc) >= {
+            "fastsim_multiseed",
+            "crash_runs",
+            "analytic",
+            "python",
+            "date",
+        }
+
+    def test_artifact_records_the_headline_wins(self):
+        doc = json.loads(ARTIFACT.read_text())
+        # The acceptance bar of the batched crash kernel: >= 10x on the
+        # 300-replica detection-time experiment.
+        assert doc["crash_runs"]["n_runs"] == 300
+        assert doc["crash_runs"]["experiment"]["speedup"] >= 10.0
+        # Memoizing the Theorem 5 terms must make repeat queries much
+        # cheaper than a cold evaluation.
+        assert doc["analytic"]["memoization_speedup"] >= 10.0
