@@ -187,6 +187,87 @@ def bench_crash_runs(smoke: bool) -> dict:
     return {"n_runs": n_runs, "kernel": kernel, "experiment": experiment}
 
 
+def bench_telemetry_overhead(smoke: bool) -> dict:
+    """Telemetry-off vs telemetry-on cost of the fastsim hot path.
+
+    The telemetry contract is *zero-cost when disabled* (a single global
+    read per kernel call) and cheap when enabled (per-call counter
+    bumps, never per-heartbeat work).  This entry keeps both honest: it
+    times the same heartbeat-bound NFD-S kernel call with telemetry
+    disabled and enabled, reports the relative overhead, and
+    cross-checks the enabled runs' heartbeat counter against the known
+    workload.
+
+    The true per-call cost is microseconds against a millisecond
+    kernel, far below the clock drift between any two timing blocks
+    measured even tens of milliseconds apart — a block-vs-block
+    comparison at this scale measures the machine, not the telemetry.
+    So the off and on sides of each sample are *adjacent single calls
+    on the same seed* (alternating which goes first), and the overhead
+    is the median of the per-pair time ratios: drift cancels within a
+    pair, ordering effects cancel across pairs, and the pair count
+    drives the median's convergence.
+    """
+    from repro import telemetry
+    from repro.net.delays import ExponentialDelay
+    from repro.sim.fastsim import simulate_nfds_fast
+
+    n_pairs = 30 if smoke else 300
+    kwargs = dict(
+        eta=1.0,
+        delta=1.0,
+        loss_probability=0.01,
+        delay=ExponentialDelay(0.02),
+        target_mistakes=10**9,  # heartbeat-bound: fixed work per call
+        max_heartbeats=10_000 if smoke else 50_000,
+        chunk_size=2_000 if smoke else 5_000,
+    )
+    heartbeats = kwargs["max_heartbeats"]
+
+    registry = telemetry.MetricsRegistry()
+    with telemetry.enabled(registry):
+        simulate_nfds_fast(seed=0, **kwargs)  # warm the metric instances
+    for seed in range(16):
+        simulate_nfds_fast(seed=seed, **kwargs)  # warm the kernel path
+
+    off_times, on_times, ratios = [], [], []
+    for i in range(n_pairs):
+        seed = i % 16
+
+        def run_off():
+            simulate_nfds_fast(seed=seed, **kwargs)
+
+        def run_on():
+            with telemetry.enabled(registry):
+                simulate_nfds_fast(seed=seed, **kwargs)
+
+        if i % 2 == 0:
+            off_t = _time(run_off)
+            on_t = _time(run_on)
+        else:
+            on_t = _time(run_on)
+            off_t = _time(run_off)
+        off_times.append(off_t)
+        on_times.append(on_t)
+        ratios.append(on_t / off_t)
+    off_times.sort()
+    on_times.sort()
+    ratios.sort()
+    overhead = ratios[n_pairs // 2] - 1.0
+    counted = registry.counter(
+        "fastsim_heartbeats_total", labels={"algorithm": "nfd-s"}
+    ).value
+    # (n_pairs + 1 runs recorded: the warm-up plus one per pair.)
+    assert counted == heartbeats * (n_pairs + 1), (counted, heartbeats)
+    return {
+        "n_pairs": n_pairs,
+        "heartbeats_per_call": heartbeats,
+        "telemetry_off_s": round(off_times[n_pairs // 2], 6),
+        "telemetry_on_s": round(on_times[n_pairs // 2], 6),
+        "overhead_pct": round(100.0 * overhead, 2),
+    }
+
+
 def bench_analytic(smoke: bool) -> dict:
     """Cold vs memoized Theorem 5 evaluation + Section 4 configuration."""
     from repro.analysis.configurator import configure_nfds
@@ -245,6 +326,7 @@ def collect(smoke: bool) -> dict:
         "fastsim_multiseed": bench_fastsim_multiseed(smoke),
         "crash_runs": bench_crash_runs(smoke),
         "analytic": bench_analytic(smoke),
+        "telemetry": bench_telemetry_overhead(smoke),
     }
 
 

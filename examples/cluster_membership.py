@@ -90,9 +90,9 @@ def main() -> None:
     print(f"  total view changes   = {membership.view_change_count}")
     print(f"  spurious changes     = {membership.spurious_change_count}")
 
-    traces = service.finish()
-    naive_mistakes = len(traces["wan-naive"].s_transition_times)
-    tuned_mistakes = len(traces["wan-replica"].s_transition_times)
+    traces = service.finish()  # keyed by (name, incarnation)
+    naive_mistakes = len(traces[("wan-naive", 0)].s_transition_times)
+    tuned_mistakes = len(traces[("wan-replica", 0)].s_transition_times)
     print("\nThe cost of mis-configuration on the WAN link (300 s):")
     print(f"  wan-replica (configured): {tuned_mistakes} false suspicions")
     print(f"  wan-naive   (LAN-tuned):  {naive_mistakes} false suspicions")

@@ -148,6 +148,17 @@ def main(argv: Optional[list] = None) -> int:
             "to the unbatched path for the same seed"
         ),
     )
+    parser.add_argument(
+        "--telemetry-out",
+        type=Path,
+        default=None,
+        help=(
+            "enable the telemetry layer and append one JSON-lines "
+            "snapshot (schema repro.telemetry/1) per experiment to this "
+            "file; the final Prometheus text exposition is written "
+            "alongside it with a .prom suffix"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.jobs < 0:
         parser.error(f"--jobs must be >= 0 (0 = all cores), got {args.jobs}")
@@ -163,11 +174,32 @@ def main(argv: Optional[list] = None) -> int:
             full=args.full,
             jobs=args.jobs,
             batch_size=args.batch_size,
+            telemetry_out=args.telemetry_out,
         )
         print(f"report written: {path}")
         return 0
 
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.telemetry_out is None:
+        _run_experiments(names, args)
+        return 0
+    from repro.telemetry import export, runtime
+
+    registry = runtime.enable()
+    try:
+        _run_experiments(names, args, telemetry=(registry, args.telemetry_out))
+    finally:
+        prom_path = args.telemetry_out.with_suffix(".prom")
+        prom_path.parent.mkdir(parents=True, exist_ok=True)
+        prom_path.write_text(export.to_prometheus(registry))
+        runtime.disable()
+    print(
+        f"  telemetry: {args.telemetry_out} (+ {prom_path})", file=sys.stderr
+    )
+    return 0
+
+
+def _run_experiments(names, args, telemetry=None) -> None:
     for name in names:
         start = time.time()
         tables = _EXPERIMENTS[name](args.full, args.jobs, args.batch_size)
@@ -180,8 +212,15 @@ def main(argv: Optional[list] = None) -> int:
                 path = args.out / f"{name}{suffix}.txt"
                 table.save(path)
                 print(f"  saved: {path}")
+        if telemetry is not None:
+            from repro.telemetry import export
+
+            registry, out_path = telemetry
+            # One cumulative snapshot per experiment: diffing consecutive
+            # lines attributes counter deltas to the experiment between
+            # them.
+            export.append_jsonl(out_path, registry, label=name)
         print(f"  [{name}: {elapsed:.1f}s]", file=sys.stderr)
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,23 +22,43 @@ def generate_report(
     experiments: Optional[List[str]] = None,
     jobs: int = 1,
     batch_size: Optional[int] = None,
+    telemetry_out: Optional[Path] = None,
 ) -> Path:
     """Run experiments and write a markdown report; returns the path.
 
     ``jobs`` and ``batch_size`` are forwarded to the parallel- and
     batch-capable experiments (see ``python -m repro.experiments
     --jobs/--batch-size``); they change only wall time, never results.
+    ``telemetry_out`` enables the telemetry layer for the duration of
+    the run, appends one JSON-lines snapshot per experiment to that
+    path, and adds a counter-summary section to the report.
     """
     # Imported lazily so `--help` stays fast.
     from repro import __version__
     from repro.experiments.cli import _EXPERIMENTS
 
+    registry = None
+    if telemetry_out is not None:
+        from repro.telemetry import runtime
+
+        registry = runtime.enable()
+
     names = sorted(_EXPERIMENTS) if experiments is None else experiments
     sections: List[Tuple[str, float, list]] = []
-    for name in names:
-        start = time.time()
-        tables = _EXPERIMENTS[name](full, jobs, batch_size)
-        sections.append((name, time.time() - start, tables))
+    try:
+        for name in names:
+            start = time.time()
+            tables = _EXPERIMENTS[name](full, jobs, batch_size)
+            sections.append((name, time.time() - start, tables))
+            if registry is not None:
+                from repro.telemetry import export
+
+                export.append_jsonl(telemetry_out, registry, label=name)
+    finally:
+        if registry is not None:
+            from repro.telemetry import runtime
+
+            runtime.disable()
 
     lines: List[str] = []
     lines.append("# Reproduction report — QoS of Failure Detectors")
@@ -64,6 +84,20 @@ def generate_report(
             lines.append("```text")
             lines.append(table.to_text())
             lines.append("```")
+    if registry is not None:
+        lines.append("")
+        lines.append("## telemetry")
+        lines.append("")
+        lines.append(
+            f"Per-experiment snapshots appended to `{telemetry_out}` "
+            "(schema `repro.telemetry/1`).  Final cumulative counters:"
+        )
+        lines.append("")
+        lines.append("```text")
+        for key, metric in registry.items():
+            if metric.kind == "counter":
+                lines.append(f"{key} = {metric.value:g}")
+        lines.append("```")
     out_path = Path(out_path)
     out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text("\n".join(lines) + "\n")

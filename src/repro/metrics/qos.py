@@ -239,12 +239,23 @@ def pool_accuracy(estimates: Sequence[AccuracyEstimate]) -> AccuracyEstimate:
     tg = np.concatenate([e.tg_samples for e in estimates])
     total_time = sum(e.observation_time for e in estimates)
     n_mistakes = sum(e.n_mistakes for e in estimates)
-    trusted = sum(
-        e.query_accuracy * e.observation_time
-        for e in estimates
-        if not math.isnan(e.query_accuracy)
-    )
-    p_a = trusted / total_time if total_time > 0 else math.nan
+    # Time-weighted quantities pool over the observation time of the
+    # runs where they are *defined*: a run whose estimate is NaN must
+    # drop out of the denominator too, or it silently biases the pooled
+    # value downward (its time counts, its trusted/mistake mass
+    # doesn't).
+    trusted = 0.0
+    pa_time = 0.0
+    rate_mistakes = 0
+    rate_time = 0.0
+    for e in estimates:
+        if not math.isnan(e.query_accuracy):
+            trusted += e.query_accuracy * e.observation_time
+            pa_time += e.observation_time
+        if not math.isnan(e.mistake_rate):
+            rate_mistakes += e.n_mistakes
+            rate_time += e.observation_time
+    p_a = trusted / pa_time if pa_time > 0 else math.nan
     if tg.size >= 2 and tg.mean() > 0:
         e_tfg = relations.forward_good_period_mean(
             float(tg.mean()), float(tg.var())
@@ -258,7 +269,7 @@ def pool_accuracy(estimates: Sequence[AccuracyEstimate]) -> AccuracyEstimate:
         e_tm=float(tm.mean()) if tm.size else math.nan,
         e_tg=float(tg.mean()) if tg.size else math.nan,
         query_accuracy=p_a,
-        mistake_rate=n_mistakes / total_time if total_time > 0 else math.nan,
+        mistake_rate=rate_mistakes / rate_time if rate_time > 0 else math.nan,
         e_tfg=e_tfg,
         n_mistakes=n_mistakes,
         observation_time=total_time,

@@ -106,7 +106,11 @@ class GroupMembership:
             left = frozenset({event.process})
             if not event.administrative:
                 proc = self._service.process(event.process)
-                if not proc.crashed:
+                # Spurious iff the process was still live *when the
+                # suspicion fired*: a crash scheduled for the future
+                # (crash_time > event.time) does not excuse a mistake
+                # made before it takes effect.
+                if event.time < proc.crash_time:
                     self._spurious_changes += 1
         self._install(frozenset(members), joined, left, event.time)
 

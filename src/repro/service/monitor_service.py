@@ -13,9 +13,10 @@ QoS contract via the Section 4-6 configurators.
 
 from __future__ import annotations
 
+import math
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -44,7 +45,12 @@ class MonitoredProcess:
     host: DetectorHost
     link: LossyLink
     incarnation: int = 0
-    crashed: bool = False
+    #: real time at which this incarnation crashes (``inf`` = never).
+    #: A *scheduled* crash sets this to the future crash instant — the
+    #: process is still live (and a suspicion still a mistake) until
+    #: then, which is what the membership layer's spurious-change
+    #: accounting compares against.
+    crash_time: float = math.inf
     events: List[MonitorEvent] = field(default_factory=list)
 
     @property
@@ -58,6 +64,19 @@ class MonitoredProcess:
     @property
     def trusted(self) -> bool:
         return self.detector.output == "T"
+
+    @property
+    def crashed(self) -> bool:
+        """Whether a crash has been injected (now or scheduled).
+
+        For "has it crashed *yet*" compare :attr:`crash_time` against
+        the simulation clock: ``proc.crashed_by(sim.now)``.
+        """
+        return self.crash_time != math.inf
+
+    def crashed_by(self, time: float) -> bool:
+        """Whether this incarnation is actually down at ``time``."""
+        return time >= self.crash_time
 
 
 class MonitorService:
@@ -73,6 +92,7 @@ class MonitorService:
         self._sim = sim
         self._seed = int(seed)
         self._processes: Dict[str, MonitoredProcess] = {}
+        self._closed_traces: Dict[Tuple[str, int], OutputTrace] = {}
         self._listeners: List[Listener] = []
         self._started = False
 
@@ -230,8 +250,11 @@ class MonitorService:
         """Stop tracking a process.
 
         A final synthetic S event is published so higher layers (e.g.
-        group membership) see the departure; the detector's own pending
-        timers become inert.
+        group membership) see the departure.  The incarnation's output
+        trace is closed *and retained* (see :meth:`finish`) — mistakes
+        made by departed incarnations stay in the QoS accounting — and
+        the host's pending timer chain is cancelled so churn-heavy runs
+        do not accumulate inert simulator events.
         """
         proc = self.process(name)
         proc.sender.stop()  # no further heartbeats from this incarnation
@@ -241,6 +264,8 @@ class MonitorService:
         proc.events.append(event)
         for callback in self._listeners:
             callback(event)
+        self._closed_traces[(name, proc.incarnation)] = proc.host.finish()
+        proc.host.stop()  # cancel the detector's timer chain
         del self._processes[name]
 
     # ------------------------------------------------------------------ #
@@ -261,11 +286,17 @@ class MonitorService:
         self._listeners.append(listener)
 
     def crash(self, name: str, at_time: Optional[float] = None) -> None:
-        """Crash a monitored process now (or at a future real time)."""
+        """Crash a monitored process now (or at a future real time).
+
+        The crash *time* — not a boolean — is recorded on the process:
+        a suspicion raised before a scheduled crash takes effect is
+        still a detector mistake, and the membership layer counts it as
+        spurious by comparing the event time against ``crash_time``.
+        """
         proc = self.process(name)
-        when = self._sim.now if at_time is None else at_time
+        when = self._sim.now if at_time is None else float(at_time)
         proc.sender.crash_at(when)
-        proc.crashed = True
+        proc.crash_time = min(proc.crash_time, when)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -287,9 +318,22 @@ class MonitorService:
             name for name, p in self._processes.items() if not p.trusted
         )
 
-    def finish(self) -> Dict[str, OutputTrace]:
-        """Close and return all output traces."""
-        return {
-            name: proc.host.finish()
-            for name, proc in self._processes.items()
-        }
+    @property
+    def closed_traces(self) -> Dict[Tuple[str, int], OutputTrace]:
+        """Traces of incarnations already removed/restarted, keyed by
+        ``(name, incarnation)``."""
+        return dict(self._closed_traces)
+
+    def finish(self) -> Dict[Tuple[str, int], OutputTrace]:
+        """Close and return the output traces of *every* incarnation.
+
+        Keys are ``(name, incarnation)``: live pipelines are closed at
+        the current time, and incarnations departed via
+        :meth:`remove_process`/:meth:`restart_process` are included with
+        the trace closed at their departure — so mistakes made by old
+        incarnations do not vanish from the QoS accounting.
+        """
+        out = dict(self._closed_traces)
+        for name, proc in self._processes.items():
+            out[(name, proc.incarnation)] = proc.host.finish()
+        return out

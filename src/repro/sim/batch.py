@@ -93,6 +93,7 @@ from repro.sim.runner import (
     _prepare_crash_runs,
 )
 from repro.sim.seeds import STREAM_CRASH_RUN, derive_rng
+from repro.telemetry.runtime import active as _telemetry_active
 
 __all__ = [
     "CrashKernelSpec",
@@ -651,6 +652,13 @@ def run_crash_runs_batched(
         with_stats=True,
     )
     detections = np.concatenate(outs)
+    reg = _telemetry_active()
+    if reg is not None:
+        labels = {"kernel": spec.kind}
+        reg.counter("batch_crash_runs_total", labels=labels).inc(n_runs)
+        reg.counter("batch_crash_batches_total", labels=labels).inc(
+            len(spans)
+        )
     result = CrashRunResult(
         detection_times=detections, crash_times=crash_times, traces=[]
     )
@@ -1093,4 +1101,18 @@ def run_accuracy_tasks_batched(
     for (_, idxs), unit_results in zip(units, outs):
         for i, res in zip(idxs, unit_results):
             results[i] = res
+    reg = _telemetry_active()
+    if reg is not None:
+        reg.counter("batch_accuracy_tasks_total").inc(len(tasks))
+        reg.counter("batch_accuracy_units_total").inc(len(units))
+        for res in results:
+            if res is None:
+                continue
+            labels = {"algorithm": res.algorithm}
+            reg.counter("batch_heartbeats_total", labels=labels).inc(
+                res.n_heartbeats
+            )
+            reg.counter("batch_mistakes_total", labels=labels).inc(
+                res.n_mistakes
+            )
     return (results, stats) if with_stats else results

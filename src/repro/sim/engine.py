@@ -50,6 +50,10 @@ class EventHandle:
     def cancelled(self) -> bool:
         return self._event.cancelled
 
+    @property
+    def fired(self) -> bool:
+        return self._event.fired
+
     def cancel(self) -> None:
         """Cancel the event; safe to call more than once."""
         ev = self._event
@@ -82,6 +86,11 @@ class Simulator:
         # sender queries it on every send, which made the old
         # scan-the-heap implementation O(heap) per event.
         self._live = 0
+        # Optional telemetry series (None = uninstrumented; the loops
+        # below pay only a None check per event).
+        self._tel_fired = None
+        self._tel_scheduled = None
+        self._tel_depth = None
 
     @property
     def now(self) -> float:
@@ -92,6 +101,30 @@ class Simulator:
     def pending(self) -> int:
         """Number of scheduled (non-cancelled) events."""
         return self._live
+
+    def attach_telemetry(self, registry, prefix: str = "sim") -> None:
+        """Record event counts and heap depth into ``registry``.
+
+        Series: ``{prefix}_events_scheduled_total``,
+        ``{prefix}_events_fired_total`` (counters) and
+        ``{prefix}_heap_depth`` (gauge; its ``max`` is the high-water
+        mark — the number churn-heavy runs previously inflated with
+        inert timer chains).
+        """
+        self._tel_scheduled = registry.counter(
+            f"{prefix}_events_scheduled_total", "events pushed on the heap"
+        )
+        self._tel_fired = registry.counter(
+            f"{prefix}_events_fired_total", "event callbacks executed"
+        )
+        self._tel_depth = registry.gauge(
+            f"{prefix}_heap_depth", "pending (non-cancelled) events"
+        )
+
+    def detach_telemetry(self) -> None:
+        self._tel_fired = None
+        self._tel_scheduled = None
+        self._tel_depth = None
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -121,6 +154,9 @@ class Simulator:
         )
         heapq.heappush(self._heap, ev)
         self._live += 1
+        if self._tel_scheduled is not None:
+            self._tel_scheduled.inc()
+            self._tel_depth.set(self._live)
         return EventHandle(ev)
 
     def schedule_after(
@@ -146,6 +182,9 @@ class Simulator:
             ev.fired = True
             self._live -= 1
             self._now = ev.time
+            if self._tel_fired is not None:
+                self._tel_fired.inc()
+                self._tel_depth.set(self._live)
             ev.callback()
             return True
         return False
@@ -175,6 +214,9 @@ class Simulator:
                 ev.fired = True
                 self._live -= 1
                 self._now = ev.time
+                if self._tel_fired is not None:
+                    self._tel_fired.inc()
+                    self._tel_depth.set(self._live)
                 ev.callback()
             self._now = float(horizon)
         finally:

@@ -39,6 +39,8 @@ They are cross-validated against the event-driven implementations in
 from __future__ import annotations
 
 import math
+import time
+import weakref
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -46,6 +48,7 @@ import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.net.delays import DelayDistribution
+from repro.telemetry.runtime import active as _telemetry_active
 
 __all__ = [
     "FastAccuracyResult",
@@ -102,6 +105,47 @@ class FastAccuracyResult:
         if self.total_time <= 0:
             return math.nan
         return self.n_mistakes / self.total_time
+
+
+def _kernel_timer() -> Optional[float]:
+    """Start-of-kernel timestamp, or ``None`` when telemetry is off.
+
+    The disabled path is a single global read per *kernel call* (not per
+    heartbeat), which is what keeps the instrumented-off overhead under
+    the perf-trajectory budget.
+    """
+    return time.perf_counter() if _telemetry_active() is not None else None
+
+
+# Metric handles per (registry, algorithm): the registry lookup formats
+# a label string on every call, which is most of the recording cost on a
+# kernel that finishes in a millisecond.  Weak keys let a discarded
+# registry (and its cache entry) be collected normally.
+_KERNEL_METRICS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _record_kernel(result: "FastAccuracyResult", t0: Optional[float]) -> None:
+    """Record one kernel run into the active registry (if any)."""
+    reg = _telemetry_active()
+    if reg is None or t0 is None:
+        return
+    cache = _KERNEL_METRICS.get(reg)
+    if cache is None:
+        cache = _KERNEL_METRICS[reg] = {}
+    handles = cache.get(result.algorithm)
+    if handles is None:
+        labels = {"algorithm": result.algorithm}
+        handles = cache[result.algorithm] = (
+            reg.counter("fastsim_runs_total", labels=labels),
+            reg.counter("fastsim_heartbeats_total", labels=labels),
+            reg.counter("fastsim_mistakes_total", labels=labels),
+            reg.histogram("fastsim_run_seconds", labels=labels),
+        )
+    runs, heartbeats, mistakes, seconds = handles
+    runs.inc()
+    heartbeats.inc(result.n_heartbeats)
+    mistakes.inc(result.n_mistakes)
+    seconds.observe(time.perf_counter() - t0)
 
 
 def _validate_common(
@@ -193,6 +237,7 @@ def simulate_nfds_fast(
     )
     if delta < 0:
         raise InvalidParameterError(f"delta must be >= 0, got {delta}")
+    t0 = _kernel_timer()
     rng = np.random.default_rng(seed)
     k = int(math.ceil(delta / eta - 1e-12))
     warming = warmup > 0.0
@@ -322,7 +367,7 @@ def simulate_nfds_fast(
     all_d = (
         np.concatenate(durations) if durations else np.empty(0, dtype=float)
     )
-    return FastAccuracyResult(
+    result = FastAccuracyResult(
         algorithm="nfd-s",
         n_heartbeats=heartbeats,
         total_time=windows_done * eta,
@@ -331,6 +376,8 @@ def simulate_nfds_fast(
         mistake_durations=all_d,
         truncated=truncated,
     )
+    _record_kernel(result, t0)
+    return result
 
 
 # --------------------------------------------------------------------- #
@@ -371,6 +418,7 @@ def _simulate_freshness_stream(
     _validate_common(
         eta, loss_probability, target_mistakes, max_heartbeats, warmup
     )
+    t0 = _kernel_timer()
     rng = np.random.default_rng(seed)
 
     s_times: List[np.ndarray] = []
@@ -543,7 +591,7 @@ def _simulate_freshness_stream(
     all_d = (
         np.concatenate(durations) if durations else np.empty(0, dtype=float)
     )
-    return FastAccuracyResult(
+    result = FastAccuracyResult(
         algorithm=algorithm,
         n_heartbeats=heartbeats,
         total_time=total_time,
@@ -552,6 +600,8 @@ def _simulate_freshness_stream(
         mistake_durations=all_d,
         truncated=truncated,
     )
+    _record_kernel(result, t0)
+    return result
 
 
 def simulate_nfdu_fast(
@@ -655,6 +705,7 @@ def simulate_sfd_fast(
         raise InvalidParameterError(f"timeout must be positive, got {timeout}")
     if cutoff is not None and cutoff <= 0:
         raise InvalidParameterError(f"cutoff must be positive, got {cutoff}")
+    t0 = _kernel_timer()
     rng = np.random.default_rng(seed)
 
     s_times: List[np.ndarray] = []
@@ -726,7 +777,7 @@ def simulate_sfd_fast(
     all_d = (
         np.concatenate(durations) if durations else np.empty(0, dtype=float)
     )
-    return FastAccuracyResult(
+    result = FastAccuracyResult(
         algorithm="sfd" if cutoff is None else "sfd-cutoff",
         n_heartbeats=heartbeats,
         total_time=total_time,
@@ -735,3 +786,5 @@ def simulate_sfd_fast(
         mistake_durations=all_d,
         truncated=truncated,
     )
+    _record_kernel(result, t0)
+    return result

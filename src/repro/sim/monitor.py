@@ -9,7 +9,7 @@ metrics are defined over real time regardless of how skewed q's clock is.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.core.base import Heartbeat, HeartbeatFailureDetector
 from repro.metrics.transitions import OutputTrace
@@ -17,6 +17,21 @@ from repro.net.clocks import Clock, PerfectClock
 from repro.sim.engine import EventHandle, Simulator
 
 __all__ = ["DetectorHost"]
+
+
+class _InertTimer:
+    """A timer handle for a stopped host: never fires, cancel is a no-op."""
+
+    __slots__ = ("time",)
+
+    cancelled = True
+    fired = False
+
+    def __init__(self, time: float) -> None:
+        self.time = time
+
+    def cancel(self) -> None:
+        pass
 
 
 class DetectorHost:
@@ -47,6 +62,12 @@ class DetectorHost:
             start_time=sim.now, initial_output=detector.output
         )
         self._delivered = 0
+        self._stopped = False
+        # Timers the detector has armed through call_at; tracked so a
+        # removed host can cancel its whole chain (each freshness-point
+        # callback re-arms the next, so an orphaned detector would tick
+        # in the simulator forever).
+        self._timers: List[EventHandle] = []
         detector.bind(self, self._on_transition)
 
     # ------------------------------------------------------------------ #
@@ -58,11 +79,21 @@ class DetectorHost:
 
     def call_at(self, local_time: float, callback) -> EventHandle:
         real = self._clock.real_time(local_time)
+        if self._stopped:
+            # A stopped host arms nothing: handing the detector an inert
+            # handle terminates its self-rescheduling timer chain.
+            return _InertTimer(max(real, self._sim.now))
         # A timer in the past fires as soon as possible — the behaviour
         # of any real event loop.  This is what lets a detector started
         # mid-stream (late join) catch up through its overdue freshness
         # points instead of crashing.
-        return self._sim.schedule_at(max(real, self._sim.now), callback)
+        handle = self._sim.schedule_at(max(real, self._sim.now), callback)
+        if len(self._timers) >= 8:
+            self._timers = [
+                h for h in self._timers if not (h.fired or h.cancelled)
+            ]
+        self._timers.append(handle)
+        return handle
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -80,11 +111,40 @@ class DetectorHost:
     def delivered_count(self) -> int:
         return self._delivered
 
+    @property
+    def trace_start_time(self) -> float:
+        """Real time the output trace (observation window) began."""
+        return self._trace.start_time
+
+    @property
+    def trace_initial_output(self) -> str:
+        return self._trace.initial_output
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
     def start(self) -> None:
         self._detector.start()
 
+    def stop(self) -> None:
+        """Neutralize the host: cancel pending timers, ignore deliveries.
+
+        Called when the service removes or restarts a process — without
+        this, the removed incarnation's detector keeps re-arming its
+        freshness-point timer chain forever, so churn-heavy runs would
+        accumulate one inert event chain per departed incarnation.
+        Idempotent.
+        """
+        self._stopped = True
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
+
     def deliver(self, seq: int, send_local_time: float) -> None:
         """Called by the sender machinery at the message's arrival time."""
+        if self._stopped:
+            return  # late arrival to a removed incarnation
         self._delivered += 1
         heartbeat = Heartbeat(
             seq=seq,
@@ -96,6 +156,8 @@ class DetectorHost:
     def _on_transition(self, local_time: float, output: str) -> None:
         # The listener fires synchronously inside an event, so the real
         # time of the transition is simply the simulator's current time.
+        if self._stopped:
+            return  # trace already closed; stray event after stop()
         self._trace.record(self._sim.now, output)
 
     def finish(self) -> OutputTrace:

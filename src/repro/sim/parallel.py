@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.telemetry.runtime import active as _telemetry_active
 from repro.sim.runner import (
     CrashRunResult,
     DetectorFactory,
@@ -238,6 +239,18 @@ def _execute(
         wall_seconds=time.perf_counter() - wall0,
         chunks=timings,
     )
+    reg = _telemetry_active()
+    if reg is not None:
+        # Chunk timings are gathered in the parent, so this records even
+        # when the items themselves ran in forked workers (whose own
+        # process-global registries are discarded with the fork).
+        reg.counter("parallel_items_total").inc(n_items)
+        reg.counter("parallel_chunks_total").inc(len(timings))
+        reg.gauge("parallel_jobs").set(jobs_resolved)
+        chunk_hist = reg.histogram("parallel_chunk_seconds")
+        for c in timings:
+            chunk_hist.observe(c.seconds)
+        reg.histogram("parallel_wall_seconds").observe(stats.wall_seconds)
     return results, stats
 
 

@@ -1,0 +1,74 @@
+"""repro.telemetry — streaming instrumentation for the monitoring stack.
+
+The paper defines its QoS metrics over complete output traces; a
+running service cannot afford to keep those.  This package provides the
+online counterpart:
+
+* a **metrics registry** (:mod:`repro.telemetry.registry`) of counters,
+  gauges and streaming histograms (Welford moments + P² quantile
+  sketches) — O(1) memory and update per series;
+* **online QoS estimators** (:mod:`repro.telemetry.qos_online`)
+  computing ``E(T_MR)``, ``E(T_M)``, ``E(T_G)``, ``P_A``, ``λ_M`` and
+  ``E(T_FG)`` incrementally from transition events, validated against
+  the trace-based :func:`repro.metrics.qos.estimate_accuracy`;
+* **hooks** — :meth:`Simulator.attach_telemetry`, the fastsim/batch/
+  parallel executors' recording into the process-global registry
+  (:mod:`repro.telemetry.runtime`), and
+  :class:`~repro.telemetry.qos_online.ServiceTelemetry` for the
+  service/membership layer;
+* **export** (:mod:`repro.telemetry.export`): JSON-lines snapshots
+  (schema ``repro.telemetry/1``; CLI flag ``--telemetry-out``) and the
+  Prometheus text exposition format.
+
+Telemetry is off by default and zero-cost when off: hot paths check
+:func:`repro.telemetry.active` once per kernel call and skip all
+recording when it returns ``None``.  ``benchmarks/perf_trajectory.py``
+measures the enabled overhead on the fastsim hot path (<5% budget).
+"""
+
+from repro.telemetry.export import (
+    SCHEMA,
+    append_jsonl,
+    snapshot_record,
+    to_prometheus,
+    validate_record,
+)
+from repro.telemetry.qos_online import (
+    OnlineQoSEstimator,
+    ServiceTelemetry,
+    pool_online,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    P2Quantile,
+    Welford,
+)
+from repro.telemetry.runtime import active, disable, enable, enabled
+
+__all__ = [
+    # registry
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "P2Quantile",
+    "Welford",
+    # runtime switch
+    "active",
+    "disable",
+    "enable",
+    "enabled",
+    # online QoS
+    "OnlineQoSEstimator",
+    "ServiceTelemetry",
+    "pool_online",
+    # export
+    "SCHEMA",
+    "append_jsonl",
+    "snapshot_record",
+    "to_prometheus",
+    "validate_record",
+]

@@ -1,21 +1,28 @@
-"""Randomized churn stress: the membership view must track the truth.
+"""Churn: joins, removals, restarts and scheduled crashes mid-run.
 
 A long random schedule of joins, crashes, restarts and removals runs
 against the monitoring service; after every quiescent period the
 membership view must equal exactly the set of live, monitored
-processes — and the view id must keep increasing monotonically.
+processes — and the view id must keep increasing monotonically.  The
+directed tests pin the per-incarnation accounting: removed
+incarnations keep their closed traces, replaced detectors stop
+ticking, and the online estimators agree with the retained traces.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 import pytest
 
 from repro.core.nfd_s import NFDS
-from repro.net.delays import ConstantDelay
+from repro.metrics.qos import estimate_accuracy
+from repro.net.delays import ConstantDelay, ExponentialDelay
 from repro.service.membership import GroupMembership
 from repro.service.monitor_service import MonitorService
 from repro.sim.engine import Simulator
+from repro.telemetry import ServiceTelemetry
 
 ETA, DELTA = 1.0, 0.5
 SETTLE = 3 * (ETA + DELTA)  # long enough for joins and detections
@@ -84,3 +91,168 @@ def test_membership_tracks_truth_under_random_churn():
     assert membership.spurious_change_count == 0
     for trace in svc.finish().values():
         assert trace.closed
+
+
+def flaky_service(seed=7):
+    sim = Simulator()
+    svc = MonitorService(sim, seed=seed)
+    svc.add_process(
+        "p",
+        NFDS(eta=ETA, delta=0.2),
+        eta=ETA,
+        delay=ExponentialDelay(0.4),
+        loss_probability=0.3,
+    )
+    return sim, svc
+
+
+class TestIncarnationAccounting:
+    def test_removed_incarnation_trace_retained(self):
+        sim, svc = flaky_service()
+        svc.start()
+        sim.run_until(100.0)
+        svc.remove_process("p")
+        assert ("p", 0) in svc.closed_traces
+        trace = svc.closed_traces[("p", 0)]
+        assert trace.closed
+        assert trace.end_time == 100.0
+        sim.run_until(150.0)
+        # finish() still reports the departed incarnation.
+        assert svc.finish() == {("p", 0): trace}
+
+    def test_restart_keeps_both_incarnation_traces(self):
+        sim, svc = flaky_service()
+        svc.start()
+        sim.run_until(80.0)
+        svc.crash("p")
+        sim.run_until(90.0)
+        svc.restart_process(
+            "p",
+            NFDS(eta=ETA, delta=0.2),
+            eta=ETA,
+            delay=ExponentialDelay(0.4),
+            loss_probability=0.3,
+        )
+        sim.run_until(200.0)
+        traces = svc.finish()
+        assert set(traces) == {("p", 0), ("p", 1)}
+        assert traces[("p", 0)].end_time == 90.0
+        assert traces[("p", 1)].end_time == 200.0
+        # The second incarnation made its own mistakes on the flaky link.
+        assert len(traces[("p", 1)].s_transition_times) > 0
+
+    def test_removed_incarnation_mistakes_stay_in_accounting(self):
+        sim, svc = flaky_service()
+        svc.start()
+        sim.run_until(200.0)
+        proc = svc.process("p")
+        mistakes_before = sum(
+            1
+            for e in proc.events
+            if e.output == "S" and not e.administrative
+        )
+        assert mistakes_before > 0
+        svc.remove_process("p")
+        trace = svc.finish()[("p", 0)]
+        assert len(trace.s_transition_times) == mistakes_before
+
+    def test_removed_host_timer_chain_is_neutralized(self):
+        sim, svc = flaky_service()
+        svc.start()
+        sim.run_until(50.0)
+        host = svc.process("p").host
+        svc.remove_process("p")
+        assert host.stopped
+        live_before = sim.pending
+        sim.run_until(500.0)
+        # No orphaned freshness-point chain keeps re-arming itself.
+        assert sim.pending <= live_before
+
+    def test_listener_isolation_across_incarnations(self):
+        sim, svc = flaky_service()
+        events = []
+        svc.subscribe(events.append)
+        svc.start()
+        sim.run_until(50.0)
+        old_proc = svc.process("p")
+        svc.remove_process("p")
+        n_old = len(old_proc.events)
+        svc.add_process(
+            "p",
+            NFDS(eta=ETA, delta=0.2),
+            eta=ETA,
+            delay=ExponentialDelay(0.4),
+            loss_probability=0.3,
+            incarnation=1,
+        )
+        sim.run_until(150.0)
+        # The old incarnation's event list stopped at its departure.
+        assert len(old_proc.events) == n_old
+        new_events = [e for e in events if e.time > 50.0]
+        assert new_events, "new incarnation produced transitions"
+
+    def test_online_estimators_match_traces_under_churn(self):
+        rng = np.random.default_rng(20260806)
+        sim = Simulator()
+        svc = MonitorService(sim, seed=3)
+        tel = ServiceTelemetry(svc)
+        svc.start()
+
+        def add(name):
+            svc.add_process(
+                name,
+                NFDS(eta=ETA, delta=0.2),
+                eta=ETA,
+                delay=ExponentialDelay(0.3),
+                loss_probability=0.2,
+            )
+
+        live, crashed, ever = set(), set(), 0
+        for _ in range(30):
+            action = rng.choice(["join", "crash", "restart", "remove", "wait"])
+            if action == "join" or not live:
+                ever += 1
+                add(f"c{ever}")
+                live.add(f"c{ever}")
+            elif action == "crash":
+                victim = sorted(live)[int(rng.integers(len(live)))]
+                svc.crash(victim)
+                live.discard(victim)
+                crashed.add(victim)
+            elif action == "restart" and crashed:
+                name = sorted(crashed)[int(rng.integers(len(crashed)))]
+                crashed.discard(name)
+                svc.restart_process(
+                    name,
+                    NFDS(eta=ETA, delta=0.2),
+                    eta=ETA,
+                    delay=ExponentialDelay(0.3),
+                    loss_probability=0.2,
+                )
+                live.add(name)
+            elif action == "remove":
+                victim = sorted(live)[int(rng.integers(len(live)))]
+                svc.remove_process(victim)
+                live.discard(victim)
+            sim.run_until(sim.now + SETTLE)
+
+        estimators = tel.finish()
+        traces = svc.finish()
+        assert set(estimators) == set(traces)
+        for key, trace in traces.items():
+            expected = estimate_accuracy(trace)
+            est = estimators[key]
+            for name in (
+                "e_tmr",
+                "e_tm",
+                "e_tg",
+                "query_accuracy",
+                "mistake_rate",
+                "e_tfg",
+            ):
+                want = getattr(expected, name)
+                got = getattr(est, name)
+                if isinstance(want, float) and math.isnan(want):
+                    assert math.isnan(got), (key, name)
+                else:
+                    assert got == pytest.approx(want, rel=1e-9), (key, name)

@@ -93,3 +93,69 @@ class TestViews:
         sim.run_until(10.0)
         svc.remove_process("c")
         assert m.view.members == {"a", "b"}
+
+
+class TestScheduledCrashAccounting:
+    """Regression: a crash *scheduled* for the far future must not
+    excuse detector mistakes made while the process is still live."""
+
+    def flaky(self, seed=9):
+        sim = Simulator()
+        svc = MonitorService(sim, seed=seed)
+        svc.add_process(
+            "victim",
+            NFDS(eta=1.0, delta=0.2),
+            eta=1.0,
+            delay=ExponentialDelay(0.4),
+            loss_probability=0.3,
+        )
+        membership = GroupMembership(svc)
+        svc.start()
+        return sim, svc, membership
+
+    def test_far_future_crash_does_not_excuse_mistakes(self):
+        # Baseline: same seed with no crash at all.
+        sim0, _, m0 = self.flaky()
+        sim0.run_until(300.0)
+        baseline = m0.spurious_change_count
+        assert baseline > 0
+
+        # Identical run, but a crash is scheduled far beyond the
+        # horizon.  Every suspicion before crash_time is still a
+        # mistake; with the old boolean `crashed` flag this counted 0.
+        sim1, svc1, m1 = self.flaky()
+        svc1.crash("victim", at_time=1e9)
+        sim1.run_until(300.0)
+        assert svc1.process("victim").crashed  # scheduled
+        assert not svc1.process("victim").crashed_by(sim1.now)  # not yet down
+        assert m1.spurious_change_count == baseline
+
+    def test_suspicions_after_crash_time_are_justified(self):
+        sim, svc, m = self.flaky()
+        svc.crash("victim", at_time=50.0)
+        sim.run_until(300.0)
+        final_suspicion = max(
+            e.time for e in svc.process("victim").events if e.output == "S"
+        )
+        assert final_suspicion >= 50.0
+        # Mistakes before the crash count, the post-crash detection does
+        # not: the spurious count must be strictly below the total
+        # number of suspicion-driven view changes.
+        leaves = sum(1 for v in m.history if v.view_id and len(v) == 0)
+        assert m.spurious_change_count < leaves
+
+    def test_crash_now_still_counts_nothing_spurious_on_clean_link(self):
+        sim = Simulator()
+        svc = MonitorService(sim, seed=1)
+        svc.add_process(
+            "solid",
+            NFDS(eta=1.0, delta=0.5),
+            eta=1.0,
+            delay=ConstantDelay(0.1),
+        )
+        m = GroupMembership(svc)
+        svc.start()
+        sim.run_until(20.0)
+        svc.crash("solid")
+        sim.run_until(40.0)
+        assert m.spurious_change_count == 0

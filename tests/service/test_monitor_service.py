@@ -122,7 +122,7 @@ class TestOperation:
         svc.start()
         sim.run_until(10.0)
         traces = svc.finish()
-        assert set(traces) == {"a", "b"}
+        assert set(traces) == {("a", 0), ("b", 0)}
         for trace in traces.values():
             assert trace.closed
             assert trace.end_time == 10.0
@@ -142,5 +142,5 @@ class TestOperation:
         svc.start()
         sim.run_until(300.0)
         traces = svc.finish()
-        assert len(traces["clean"].s_transition_times) == 0
-        assert len(traces["flaky"].s_transition_times) > 5
+        assert len(traces[("clean", 0)].s_transition_times) == 0
+        assert len(traces[("flaky", 0)].s_transition_times) > 5

@@ -1,0 +1,114 @@
+"""JSON-lines and Prometheus export round-trips."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry.export import (
+    SCHEMA,
+    append_jsonl,
+    snapshot_record,
+    to_prometheus,
+    validate_record,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+
+def make_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("events_total", "all events").inc(7)
+    reg.counter("runs_total", labels={"algorithm": "nfd-s"}).inc(2)
+    reg.gauge("depth", "heap depth").set(5.0)
+    reg.gauge("unwritten")  # NaN extremes: must survive JSON
+    h = reg.histogram("latency_seconds", "per-run latency")
+    for x in (0.1, 0.2, 0.4):
+        h.observe(x)
+    return reg
+
+
+class TestJsonLines:
+    def test_snapshot_record_shape(self):
+        record = snapshot_record(make_registry(), label="x", timestamp=12.0)
+        assert record["schema"] == SCHEMA
+        assert record["label"] == "x"
+        assert record["unix_time"] == 12.0
+        validate_record(record)
+
+    def test_append_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "out" / "telemetry.jsonl"
+        reg = make_registry()
+        append_jsonl(path, reg, label="first", timestamp=1.0)
+        reg.counter("events_total").inc()
+        append_jsonl(path, reg, label="second", timestamp=2.0)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        for record in records:
+            validate_record(record)
+        assert records[0]["label"] == "first"
+        assert records[0]["metrics"]["counters"]["events_total"]["value"] == 7
+        assert records[1]["metrics"]["counters"]["events_total"]["value"] == 8
+        # NaN encodes as null, not as invalid bare NaN.
+        assert records[0]["metrics"]["gauges"]["unwritten"]["min"] is None
+
+    def test_json_is_strict(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        append_jsonl(path, make_registry())
+        # json.loads in strict mode rejects NaN/Infinity literals.
+        json.loads(path.read_text().splitlines()[0], parse_constant=_boom)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda r: r.update(schema="other/9"),
+            lambda r: r.pop("unix_time"),
+            lambda r: r.update(metrics=[]),
+            lambda r: r["metrics"].pop("counters"),
+            lambda r: r["metrics"]["counters"].update(bad={"value": "x"}),
+            lambda r: r["metrics"]["histograms"].update(
+                bad={"count": "many"}
+            ),
+        ],
+    )
+    def test_validate_rejects_corrupted_records(self, mutate):
+        record = snapshot_record(make_registry(), timestamp=0.0)
+        mutate(record)
+        with pytest.raises(ValueError):
+            validate_record(record)
+
+
+def _boom(value):  # pragma: no cover - only called on invalid JSON
+    raise AssertionError(f"non-strict JSON constant {value!r}")
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        text = to_prometheus(make_registry())
+        assert "# TYPE events_total counter" in text
+        assert "events_total 7.0" in text
+        assert '# TYPE runs_total counter' in text
+        assert 'runs_total{algorithm="nfd-s"} 2.0' in text
+        assert "# TYPE depth gauge" in text
+        assert "# TYPE latency_seconds summary" in text
+        assert 'latency_seconds{quantile="0.5"} 0.2' in text
+        assert "latency_seconds_count 3" in text
+        assert "latency_seconds_sum" in text
+        assert math.isclose(
+            float(
+                [
+                    line.split()[-1]
+                    for line in text.splitlines()
+                    if line.startswith("latency_seconds_sum")
+                ][0]
+            ),
+            0.7,
+        )
+
+    def test_nan_gauge_renders_as_prometheus_nan(self):
+        reg = MetricsRegistry()
+        reg.gauge("g")  # never written: value 0.0 is fine
+        text = to_prometheus(reg)
+        assert "g 0.0" in text

@@ -44,6 +44,12 @@ class TestSmokeMode:
         analytic = doc["analytic"]
         assert analytic["predict_memoized_s"] < analytic["predict_cold_s"]
         assert analytic["configure_nfds_s"] > 0
+        tel = doc["telemetry"]
+        # Smoke workloads are milliseconds, so the ratio is noisy; only
+        # the structure is asserted here.  The committed full-mode
+        # artifact enforces the <5% budget.
+        assert tel["telemetry_off_s"] > 0 and tel["telemetry_on_s"] > 0
+        assert "overhead_pct" in tel
 
 
 class TestCommittedArtifact:
@@ -56,6 +62,7 @@ class TestCommittedArtifact:
             "fastsim_multiseed",
             "crash_runs",
             "analytic",
+            "telemetry",
             "python",
             "date",
         }
@@ -69,3 +76,6 @@ class TestCommittedArtifact:
         # Memoizing the Theorem 5 terms must make repeat queries much
         # cheaper than a cold evaluation.
         assert doc["analytic"]["memoization_speedup"] >= 10.0
+        # The telemetry layer's contract: enabling it costs < 5% on the
+        # fastsim hot path at the full benchmark scale.
+        assert doc["telemetry"]["overhead_pct"] < 5.0
