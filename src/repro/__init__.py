@@ -25,6 +25,9 @@ The library provides:
   benchmark-scale statistics;
 * a **monitoring service and group membership layer**
   (:mod:`repro.service`) scaling the two-process core to many processes;
+* a **fault-injection layer** (:mod:`repro.faults`): scripted bursty
+  loss, partitions, duplication/reordering, clock faults, and sender
+  stalls for measuring QoS when the §3.1 assumptions are violated;
 * **experiment drivers** (:mod:`repro.experiments`) regenerating every
   table and figure of the paper's evaluation.
 
@@ -74,6 +77,12 @@ from repro.errors import (
     ReproError,
     SimulationError,
     TraceError,
+)
+from repro.faults import (
+    FaultScenario,
+    FaultyLink,
+    GilbertElliottLink,
+    run_failure_free_with_faults,
 )
 from repro.metrics import (
     OutputTrace,
@@ -155,6 +164,11 @@ __all__ = [
     "LossyLink",
     "PerfectClock",
     "SkewedClock",
+    # fault injection
+    "GilbertElliottLink",
+    "FaultyLink",
+    "FaultScenario",
+    "run_failure_free_with_faults",
     # simulation
     "Simulator",
     "SimulationConfig",

@@ -25,6 +25,9 @@ E12       :mod:`repro.experiments.profile_costs` — what a contract
           costs (in heartbeat rate) on each named network profile
 E13       :mod:`repro.experiments.gossip_comparison` — gossip-style
           detection vs NFD-E at matched message budgets
+E14       :mod:`repro.experiments.fault_sensitivity` — QoS under
+          injected faults (:mod:`repro.faults`): burst sweep at equal
+          average loss + composite scripted-fault scenario
 ========  ===========================================================
 
 Every driver returns an :class:`repro.experiments.common.ExperimentTable`

@@ -1,0 +1,63 @@
+"""Deterministic fault injection for the failure-detector simulations.
+
+The paper's analysis (§3.1, Theorem 5) assumes i.i.d. message loss,
+i.i.d. delays, no duplication, no clock faults, and a never-pausing
+sender.  This package scripts violations of each assumption onto a
+running simulation — reproducibly, from dedicated seeded streams — so
+the experiments can chart QoS degradation against the analytic
+fault-free prediction:
+
+* :mod:`repro.faults.links` — Gilbert–Elliott bursty loss; a wrapper
+  link adding partitions, duplication, and reordering;
+* :mod:`repro.faults.scenario` — timed fault events, the canonical
+  scenario container, and the engine that compiles a scenario onto the
+  discrete-event simulator (with telemetry + a queryable timeline);
+* :mod:`repro.faults.runner` — failure-free runs through the fault
+  pipeline (bit-identical to the plain runner when fault-free), the
+  deterministic parallel fan-out, and per-fault-window QoS segmentation.
+"""
+
+from repro.faults.links import FaultyLink, GilbertElliottLink
+from repro.faults.runner import (
+    FaultRunResult,
+    run_failure_free_with_faults,
+    run_fault_runs_parallel,
+    windowed_suspicion,
+)
+from repro.faults.scenario import (
+    ClockJump,
+    DelayRegime,
+    DriftOnset,
+    Duplication,
+    FaultEvent,
+    FaultScenario,
+    FaultTimeline,
+    FaultWindow,
+    LossRegime,
+    Partition,
+    Reordering,
+    ScenarioEngine,
+    Stall,
+)
+
+__all__ = [
+    "GilbertElliottLink",
+    "FaultyLink",
+    "LossRegime",
+    "DelayRegime",
+    "Partition",
+    "Duplication",
+    "Reordering",
+    "ClockJump",
+    "DriftOnset",
+    "Stall",
+    "FaultEvent",
+    "FaultScenario",
+    "FaultTimeline",
+    "FaultWindow",
+    "ScenarioEngine",
+    "FaultRunResult",
+    "run_failure_free_with_faults",
+    "run_fault_runs_parallel",
+    "windowed_suspicion",
+]

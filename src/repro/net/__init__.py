@@ -8,7 +8,13 @@ variance.  It also provides the local-clock models used by the NFD-S
 (synchronized), NFD-U and NFD-E (unsynchronized, drift-free) algorithms.
 """
 
-from repro.net.clocks import Clock, DriftingClock, PerfectClock, SkewedClock
+from repro.net.clocks import (
+    Clock,
+    DriftingClock,
+    FaultableClock,
+    PerfectClock,
+    SkewedClock,
+)
 from repro.net.delays import (
     ConstantDelay,
     DelayDistribution,
@@ -30,6 +36,7 @@ __all__ = [
     "PerfectClock",
     "SkewedClock",
     "DriftingClock",
+    "FaultableClock",
     "DelayDistribution",
     "ExponentialDelay",
     "ShiftedExponentialDelay",

@@ -19,14 +19,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.net.delays import DelayDistribution
 
-__all__ = ["MessageRecord", "LinkStats", "LossyLink"]
+__all__ = ["MessageRecord", "LinkEpoch", "LinkStats", "LossyLink"]
 
 
 @dataclass(frozen=True)
@@ -55,9 +55,15 @@ class MessageRecord:
 
 
 @dataclass
-class LinkStats:
-    """Running counters kept by a :class:`LossyLink`."""
+class LinkEpoch:
+    """Counters for one regime — the span between two condition changes.
 
+    ``loss_probability`` is the *configured* ``p_L`` of the regime, kept
+    next to the counters so ``empirical_loss_rate`` can be compared to
+    the rate it is supposed to converge to.
+    """
+
+    loss_probability: float
     offered: int = 0
     dropped: int = 0
 
@@ -70,6 +76,81 @@ class LinkStats:
         if self.offered == 0:
             return 0.0
         return self.dropped / self.offered
+
+
+class LinkStats:
+    """Per-regime counters kept by a :class:`LossyLink`.
+
+    A :meth:`~LossyLink.set_conditions` call (a regime change) starts a
+    new :class:`LinkEpoch`; counters accumulate into the *current* epoch
+    only.  The scalar properties (``offered``, ``dropped``,
+    ``delivered``) are lifetime totals, but ``empirical_loss_rate`` is
+    the **current epoch's** rate — blending pre- and post-regime traffic
+    into one ratio (the old behaviour) produced a number that converges
+    to no parameter of either regime.  The lifetime blend is still
+    available as :attr:`lifetime_loss_rate`.
+    """
+
+    def __init__(self, loss_probability: float = 0.0) -> None:
+        self.epochs: List[LinkEpoch] = [LinkEpoch(loss_probability)]
+
+    @property
+    def current_epoch(self) -> LinkEpoch:
+        return self.epochs[-1]
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.epochs)
+
+    def begin_epoch(self, loss_probability: float) -> None:
+        """Start a new regime's counter set.
+
+        An epoch that saw no traffic is replaced in-place (two condition
+        changes with no messages in between are one regime as far as the
+        counters are concerned).
+        """
+        if self.current_epoch.offered == 0:
+            self.epochs[-1] = LinkEpoch(loss_probability)
+        else:
+            self.epochs.append(LinkEpoch(loss_probability))
+
+    def record(self, dropped: bool) -> None:
+        epoch = self.epochs[-1]
+        epoch.offered += 1
+        if dropped:
+            epoch.dropped += 1
+
+    def record_batch(self, offered: int, dropped: int) -> None:
+        epoch = self.epochs[-1]
+        epoch.offered += offered
+        epoch.dropped += dropped
+
+    @property
+    def offered(self) -> int:
+        """Lifetime total of messages offered, across all epochs."""
+        return sum(e.offered for e in self.epochs)
+
+    @property
+    def dropped(self) -> int:
+        """Lifetime total of messages dropped, across all epochs."""
+        return sum(e.dropped for e in self.epochs)
+
+    @property
+    def delivered(self) -> int:
+        return self.offered - self.dropped
+
+    @property
+    def empirical_loss_rate(self) -> float:
+        """Loss rate of the *current* regime (see class docstring)."""
+        return self.current_epoch.empirical_loss_rate
+
+    @property
+    def lifetime_loss_rate(self) -> float:
+        """Loss rate blended over every regime the link has been in."""
+        offered = self.offered
+        if offered == 0:
+            return 0.0
+        return self.dropped / offered
 
 
 class LossyLink:
@@ -98,7 +179,7 @@ class LossyLink:
         self._delay = delay
         self._p_l = float(loss_probability)
         self._rng = rng if rng is not None else np.random.default_rng()
-        self._stats = LinkStats()
+        self._stats = LinkStats(self._p_l)
 
     @property
     def delay_distribution(self) -> DelayDistribution:
@@ -122,7 +203,9 @@ class LossyLink:
         Messages already in flight keep their original fate; only future
         :meth:`transmit` calls see the new conditions.  This models the
         Section 8.1 scenario of a network whose probabilistic behaviour
-        shifts (peak vs. off-peak traffic).
+        shifts (peak vs. off-peak traffic).  The stats open a new
+        :class:`LinkEpoch`, so ``stats.empirical_loss_rate`` tracks the
+        new regime instead of blending it with the old one.
         """
         if delay is not None:
             self._delay = delay
@@ -132,14 +215,15 @@ class LossyLink:
                     f"loss_probability must be in [0, 1), got {loss_probability}"
                 )
             self._p_l = float(loss_probability)
+        self._stats.begin_epoch(self._p_l)
 
     def transmit(self, seq: int, send_time: float) -> MessageRecord:
         """Decide the fate of one message sent at ``send_time``."""
-        self._stats.offered += 1
         if self._p_l > 0.0 and self._rng.random() < self._p_l:
-            self._stats.dropped += 1
+            self._stats.record(dropped=True)
             return MessageRecord(seq=seq, send_time=send_time, delay=math.inf)
         delay = float(self._delay.sample(self._rng, 1)[0])
+        self._stats.record(dropped=False)
         return MessageRecord(seq=seq, send_time=send_time, delay=delay)
 
     def transmit_batch(self, n: int) -> np.ndarray:
@@ -154,9 +238,10 @@ class LossyLink:
         if n == 0:
             return np.empty(0, dtype=float)
         delays = self._delay.sample(self._rng, n).astype(float, copy=False)
+        n_lost = 0
         if self._p_l > 0.0:
             lost = self._rng.random(n) < self._p_l
             delays = np.where(lost, np.inf, delays)
-            self._stats.dropped += int(lost.sum())
-        self._stats.offered += n
+            n_lost = int(lost.sum())
+        self._stats.record_batch(offered=n, dropped=n_lost)
         return delays

@@ -45,6 +45,10 @@ class MonitoredProcess:
     host: DetectorHost
     link: LossyLink
     incarnation: int = 0
+    #: the fault engine driving this pipeline, when the process was
+    #: registered with a scenario (its ``timeline`` segments the
+    #: incarnation's QoS by fault window).
+    scenario_engine: Optional[object] = None
     #: real time at which this incarnation crashes (``inf`` = never).
     #: A *scheduled* crash sets this to the future crash instant — the
     #: process is still live (and a suspicion still a mistake) until
@@ -124,11 +128,22 @@ class MonitorService:
         sender_clock: Optional[Clock] = None,
         monitor_clock: Optional[Clock] = None,
         incarnation: int = 0,
+        scenario=None,
     ) -> MonitoredProcess:
         """Register a process and build its monitoring pipeline.
 
         If the service has already been started, the new pipeline starts
         immediately (processes can join a running system).
+
+        ``scenario`` (a :class:`repro.faults.FaultScenario`) scripts
+        faults onto this process's pipeline only: the link is wrapped in
+        a :class:`repro.faults.FaultyLink` whose fault draws come from a
+        per-(process, incarnation) ``STREAM_FAULTS`` stream, clocks are
+        auto-upgraded to :class:`~repro.net.clocks.FaultableClock` where
+        the scenario needs them, and the engine's timeline is available
+        as ``proc.scenario_engine.timeline``.  Event times are absolute
+        simulation times, so a process registered mid-run must use a
+        scenario written for the current clock.
         """
         if name in self._processes:
             raise InvalidParameterError(
@@ -142,6 +157,22 @@ class MonitorService:
             np.random.SeedSequence([self._seed, name_key, incarnation])
         )
         link = LossyLink(delay=delay, loss_probability=loss_probability, rng=rng)
+        engine = None
+        if scenario is not None:
+            # Imported lazily: repro.faults sits above the service layer.
+            from repro.faults.links import FaultyLink
+            from repro.faults.runner import _resolve_clock
+            from repro.faults.scenario import ScenarioEngine
+            from repro.sim.seeds import STREAM_FAULTS
+
+            fault_rng = np.random.default_rng(
+                np.random.SeedSequence(
+                    [self._seed, name_key, incarnation, STREAM_FAULTS]
+                )
+            )
+            link = FaultyLink(link, fault_rng)
+            sender_clock = _resolve_clock(sender_clock, scenario, "sender")
+            monitor_clock = _resolve_clock(monitor_clock, scenario, "monitor")
         host = DetectorHost(
             self._sim, detector, clock=monitor_clock, sender_clock=sender_clock
         )
@@ -156,10 +187,21 @@ class MonitorService:
             clock=sender_clock,
             first_seq=first_seq,
             origin=first_seq * eta,
+            send_gate=scenario.send_gate() if scenario is not None else None,
         )
+        if scenario is not None and len(scenario):
+            engine = ScenarioEngine(
+                self._sim,
+                scenario,
+                link,
+                sender_clock=sender_clock,
+                monitor_clock=monitor_clock,
+                label=f"{name}#{incarnation}",
+            )
+            engine.install()
         proc = MonitoredProcess(
             name=name, sender=sender, host=host, link=link,
-            incarnation=incarnation,
+            incarnation=incarnation, scenario_engine=engine,
         )
         self._processes[name] = proc
         # Re-route the host's transition recording through the service so

@@ -37,6 +37,14 @@ class HeartbeatSender:
             paper.  A later origin supports epoch restarts — e.g. the
             adaptive experiments stop one sender and start another at a
             new rate, continuing the sequence numbering.
+        send_gate: optional map from a heartbeat's nominal real send
+            time to the real time it actually leaves p.  The fault layer
+            uses this for GC-pause-style stalls: a slot inside a stall
+            window is deferred to the window's end (still carrying its
+            nominal ``σ_i``), and the slots overtaken during the pause
+            are skipped.  Must be deterministic and must never return a
+            time before its argument; ``None`` (the default) sends every
+            slot on time.
     """
 
     def __init__(
@@ -49,6 +57,7 @@ class HeartbeatSender:
         crash_time: Optional[float] = None,
         first_seq: int = 1,
         origin: Optional[float] = None,
+        send_gate: Optional[Callable[[float], float]] = None,
     ) -> None:
         if eta <= 0:
             raise InvalidParameterError(f"eta must be positive, got {eta}")
@@ -67,6 +76,11 @@ class HeartbeatSender:
         self._next_seq = int(first_seq)
         self._sent = 0
         self._started = False
+        self._send_gate = send_gate
+        # Links from the fault layer can fan one offered message out to
+        # several delivery records (duplication); plain links keep the
+        # single-record fast path.
+        self._transmit_multi = getattr(link, "transmit_multi", None)
 
     @property
     def eta(self) -> float:
@@ -119,6 +133,8 @@ class HeartbeatSender:
             self._next_seq += 1
         if real_send >= self._crash_time:
             return  # p has crashed; no further heartbeats
+        if self._send_gate is not None:
+            real_send = max(real_send, self._send_gate(real_send))
         self._sim.schedule_at(real_send, self._send)
 
     def _send(self) -> None:
@@ -129,12 +145,16 @@ class HeartbeatSender:
         send_local = self.send_local_time(seq)
         real_send = self._sim.now
         self._sent += 1
-        record = self._link.transmit(seq, real_send)
-        if not record.lost:
-            self._sim.schedule_at(
-                record.arrival_time,
-                lambda s=seq, t=send_local: self._deliver(s, t),
-            )
+        if self._transmit_multi is not None:
+            records = self._transmit_multi(seq, real_send)
+        else:
+            records = (self._link.transmit(seq, real_send),)
+        for record in records:
+            if not record.lost:
+                self._sim.schedule_at(
+                    record.arrival_time,
+                    lambda s=seq, t=send_local: self._deliver(s, t),
+                )
         self._arm_next()
 
     def crash_at(self, real_time: float) -> None:

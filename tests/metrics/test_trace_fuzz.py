@@ -126,3 +126,86 @@ def test_serialization_round_trip_fuzz(initial, step_list, tail):
     assert restored.empirical_query_accuracy() == pytest.approx(
         trace.empirical_query_accuracy(), abs=1e-9
     )
+
+
+# Duplication/reordering-shaped histories: bursts of same-instant flaps
+# (a duplicate arriving at the exact time of a suspicion, a reordered
+# heartbeat immediately retracting it) interleaved with quiet stretches.
+# These are the transition patterns the fault layer's duplication and
+# reordering windows generate.
+flap_bursts = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50.0),  # quiet gap
+        st.integers(min_value=1, max_value=6),  # flap count at one instant
+        st.floats(min_value=0.0, max_value=0.2),  # burst spread
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def build_flappy(initial, bursts, tail):
+    trace = OutputTrace(start_time=0.0, initial_output=initial)
+    now = 0.0
+    out = initial
+    for gap, flaps, spread in bursts:
+        now += gap
+        for i in range(flaps):
+            out = SUSPECT if out == TRUST else TRUST
+            # All flaps of a burst land within `spread` of each other;
+            # spread 0 puts them at the same instant.
+            trace.record(now + spread * i / flaps, out)
+        now += spread
+    return trace.close(now + tail)
+
+
+@given(
+    initial=st.sampled_from([TRUST, SUSPECT]),
+    bursts=flap_bursts,
+    tail=st.floats(min_value=0.0, max_value=10.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_flap_bursts_never_poison_the_estimator(initial, bursts, tail):
+    """Same-instant suspect/trust flap bursts must yield finite,
+    non-negative duration samples and a NaN-free pooled estimate."""
+    import math
+
+    from repro.metrics.qos import pool_accuracy
+
+    trace = build_flappy(initial, bursts, tail)
+    for samples in (
+        trace.mistake_recurrence_samples(),
+        trace.mistake_duration_samples(),
+        trace.good_period_samples(),
+    ):
+        assert np.all(samples >= 0)
+        assert np.all(np.isfinite(samples))
+    est = estimate_accuracy(trace)
+    # Pooling across fuzzed estimates must not launder NaNs into the
+    # aggregate: every defined field of the pool is finite and in range.
+    clean = build(TRUST, [(1.0, SUSPECT), (1.0, TRUST)] * 3, 5.0)
+    pooled = pool_accuracy([est, estimate_accuracy(clean)])
+    assert pooled.observation_time > 0
+    assert np.all(pooled.tmr_samples >= 0)
+    assert np.all(pooled.tm_samples >= 0)
+    if pooled.tmr_samples.size:
+        assert math.isfinite(pooled.e_tmr)
+    if pooled.tm_samples.size:
+        assert math.isfinite(pooled.e_tm)
+    assert math.isnan(pooled.query_accuracy) or (
+        -1e-9 <= pooled.query_accuracy <= 1 + 1e-9
+    )
+
+
+@given(
+    initial=st.sampled_from([TRUST, SUSPECT]),
+    bursts=flap_bursts,
+)
+@settings(max_examples=100, deadline=None)
+def test_flap_bursts_preserve_alternation_and_occupancy(initial, bursts):
+    trace = build_flappy(initial, bursts, 2.0)
+    outputs = [initial] + [t.kind.new_output for t in trace.transitions]
+    for a, b in zip(outputs, outputs[1:]):
+        assert a != b
+    total = trace.time_in_output(TRUST) + trace.time_in_output(SUSPECT)
+    assert total == pytest.approx(trace.duration, abs=1e-6)

@@ -8,7 +8,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import InvalidParameterError
-from repro.net.clocks import DriftingClock, PerfectClock, SkewedClock
+from repro.net.clocks import (
+    DriftingClock,
+    FaultableClock,
+    PerfectClock,
+    SkewedClock,
+)
 
 
 class TestPerfectClock:
@@ -74,3 +79,76 @@ class TestDriftingClock:
 def test_round_trip_property(skew, drift, t):
     c = DriftingClock(skew=skew, drift=drift)
     assert c.real_time(c.local_time(t)) == pytest.approx(t, abs=1e-6, rel=1e-9)
+
+
+class TestFaultableClock:
+    def test_matches_drifting_clock_before_any_fault(self):
+        f = FaultableClock(skew=2.0, drift=1e-3)
+        d = DriftingClock(skew=2.0, drift=1e-3)
+        for t in (0.0, 1.0, 500.0):
+            assert f.local_time(t) == d.local_time(t)
+            assert f.real_time(d.local_time(t)) == pytest.approx(t)
+        assert f.n_faults == 0
+
+    def test_forward_jump(self):
+        c = FaultableClock()
+        c.jump(10.0, 5.0)
+        assert c.local_time(9.0) == pytest.approx(9.0)
+        assert c.local_time(10.0) == pytest.approx(15.0)
+        assert c.local_time(12.0) == pytest.approx(17.0)
+        # Readings inside the skipped gap map to the jump instant.
+        assert c.real_time(12.0) == pytest.approx(10.0)
+        assert c.real_time(17.0) == pytest.approx(12.0)
+        assert c.n_faults == 1
+
+    def test_backward_jump_returns_earliest_real_time(self):
+        c = FaultableClock()
+        c.jump(10.0, -4.0)
+        assert c.local_time(10.0) == pytest.approx(6.0)
+        # Reading 8 occurs twice (real 8 and real 12); earliest wins.
+        assert c.real_time(8.0) == pytest.approx(8.0)
+        assert c.real_time(6.5) == pytest.approx(6.5)
+
+    def test_drift_onset(self):
+        c = FaultableClock()
+        c.set_drift(100.0, 0.01)
+        assert c.local_time(100.0) == pytest.approx(100.0)
+        assert c.local_time(200.0) == pytest.approx(201.0)
+        assert c.real_time(201.0) == pytest.approx(200.0)
+
+    def test_faults_compose(self):
+        c = FaultableClock()
+        c.set_drift(50.0, 0.1)
+        c.jump(100.0, -2.0)
+        # 50 + 1.1*50 - 2 = 103 at real 100; rate stays 1.1 after.
+        assert c.local_time(100.0) == pytest.approx(103.0)
+        assert c.local_time(110.0) == pytest.approx(114.0)
+        assert c.n_faults == 2
+
+    def test_rejects_out_of_order_and_bad_drift(self):
+        c = FaultableClock()
+        c.jump(10.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            c.jump(5.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            c.set_drift(20.0, -1.5)
+        with pytest.raises(InvalidParameterError):
+            FaultableClock(drift=-1.0)
+
+    @given(
+        offset=st.floats(min_value=-5.0, max_value=5.0),
+        drift=st.floats(min_value=-0.1, max_value=0.1),
+        t=st.floats(min_value=20.0, max_value=1e4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_after_faults(self, offset, drift, t):
+        """real_time(local_time(t)) == t for t after the last fault,
+        except inside the overlap a backward jump creates (where the
+        earliest pre-image is returned instead)."""
+        c = FaultableClock()
+        c.jump(10.0, offset)
+        c.set_drift(15.0, drift)
+        local = c.local_time(t)
+        back = c.real_time(local)
+        assert back <= t + 1e-9
+        assert c.local_time(back) == pytest.approx(local, abs=1e-6)

@@ -87,3 +87,33 @@ class TestLossyLink:
         link = LossyLink(exp_delay, rng=rng)
         with pytest.raises(InvalidParameterError):
             link.set_conditions(loss_probability=1.5)
+
+
+class TestLinkEpochs:
+    def test_regime_change_does_not_blend_loss_rates(self, exp_delay, rng):
+        """After set_conditions, the empirical rate must track the new
+        regime, not the lifetime blend of both."""
+        link = LossyLink(exp_delay, loss_probability=0.0, rng=rng)
+        link.transmit_batch(1000)
+        assert link.stats.empirical_loss_rate == 0.0
+        link.set_conditions(loss_probability=0.5)
+        fates = np.isinf(link.transmit_batch(1000))
+        n_lost = int(fates.sum())
+        # Current-epoch rate ≈ 0.5; the lifetime blend would sit near
+        # 0.25 and converges to no parameter of either regime.
+        assert link.stats.empirical_loss_rate == n_lost / 1000
+        assert link.stats.empirical_loss_rate == pytest.approx(0.5, abs=0.06)
+        assert link.stats.lifetime_loss_rate == n_lost / 2000
+        # Lifetime totals still span both epochs.
+        assert link.stats.offered == 2000
+        assert link.stats.dropped == n_lost
+        assert link.stats.delivered == 2000 - n_lost
+        assert link.stats.n_epochs == 2
+        assert [e.loss_probability for e in link.stats.epochs] == [0.0, 0.5]
+
+    def test_zero_traffic_epoch_is_replaced(self, exp_delay, rng):
+        link = LossyLink(exp_delay, loss_probability=0.1, rng=rng)
+        link.set_conditions(loss_probability=0.2)
+        link.set_conditions(loss_probability=0.3)
+        assert link.stats.n_epochs == 1
+        assert link.stats.current_epoch.loss_probability == 0.3
