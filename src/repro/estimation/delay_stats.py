@@ -69,9 +69,15 @@ class DelayStatsEstimator:
 class WindowedDelayStats:
     """Mean/variance of the last ``window`` delay samples.
 
-    Running sums over a bounded deque: O(1) update, exact within double
-    precision (samples here are small network delays, so catastrophic
-    cancellation is not a concern at realistic window sizes).
+    Running sums over a bounded deque give O(1) updates, but each
+    eviction leaves a ~1 ulp residue in the sums: over millions of
+    evictions (a week-long live monitor) the accumulated drift becomes
+    visible in the variance, especially when the samples carry a large
+    constant clock skew (Section 6.2.2's unsynchronized regime).  The
+    sums are therefore recomputed exactly (``math.fsum``) from the deque
+    once every ``window`` evictions — amortized O(1) per update — so the
+    error is bounded by one window's worth of rounding regardless of how
+    long the estimator runs.
     """
 
     def __init__(self, window: int) -> None:
@@ -81,6 +87,7 @@ class WindowedDelayStats:
         self._samples: Deque[float] = deque()
         self._sum = 0.0
         self._sum_sq = 0.0
+        self._evictions_since_resync = 0
 
     @property
     def window(self) -> int:
@@ -106,6 +113,15 @@ class WindowedDelayStats:
             old = self._samples.popleft()
             self._sum -= old
             self._sum_sq -= old * old
+            self._evictions_since_resync += 1
+            if self._evictions_since_resync >= self._window:
+                self._resync()
+
+    def _resync(self) -> None:
+        """Recompute the running sums exactly from the retained samples."""
+        self._sum = math.fsum(self._samples)
+        self._sum_sq = math.fsum(x * x for x in self._samples)
+        self._evictions_since_resync = 0
 
     def mean(self) -> float:
         n = len(self._samples)

@@ -8,6 +8,17 @@ A heartbeat counts as missing once some *higher* sequence number has been
 received — reordered (late but delivered) messages are *un*-counted when
 they eventually arrive, so the estimate converges to the true ``p_L``
 rather than to ``p_L`` plus the reordering rate.
+
+Long-running monitors need bounded state: a genuinely lost sequence
+number never arrives, so an estimator that keeps every missing number in
+a set grows as O(p_L · total heartbeats) over the life of the service.
+Reordering, however, is a *local* phenomenon — a message displaced by
+more than a few η is indistinguishable from a loss in practice — so the
+estimator compacts: sequence numbers more than ``reorder_horizon`` below
+the highest received one can no longer be un-counted and are folded into
+a plain integer loss counter.  The estimate is unchanged for any
+reordering displacement within the horizon, and memory is bounded by
+O(p_L · reorder_horizon) regardless of run length.
 """
 
 from __future__ import annotations
@@ -20,16 +31,42 @@ __all__ = ["LossRateEstimator"]
 
 
 class LossRateEstimator:
-    """Estimates ``p_L`` from observed heartbeat sequence numbers."""
+    """Estimates ``p_L`` from observed heartbeat sequence numbers.
 
-    def __init__(self, first_seq: int = 1) -> None:
+    Args:
+        first_seq: the first sequence number the sender will use.
+        reorder_horizon: how far (in sequence numbers) below the highest
+            received heartbeat a missing number is still allowed to
+            arrive late and be un-counted.  Numbers older than that are
+            compacted into an integer lost-count, bounding memory for
+            week-long monitors.  ``None`` disables compaction (the exact
+            but unbounded behaviour).
+    """
+
+    def __init__(
+        self,
+        first_seq: int = 1,
+        reorder_horizon: Optional[int] = 1024,
+    ) -> None:
         if first_seq < 0:
             raise InvalidParameterError(f"first_seq must be >= 0, got {first_seq}")
+        if reorder_horizon is not None and reorder_horizon < 1:
+            raise InvalidParameterError(
+                f"reorder_horizon must be >= 1, got {reorder_horizon}"
+            )
         self._first_seq = int(first_seq)
+        self._horizon = None if reorder_horizon is None else int(reorder_horizon)
         self._highest: Optional[int] = None
         self._received_count = 0
-        # Sequence numbers below the highest that have not (yet) arrived.
+        # Sequence numbers below the highest that have not (yet) arrived
+        # and are still within the reorder horizon.
         self._missing: Set[int] = set()
+        # Missing numbers compacted out of the set: definitively lost.
+        self._lost_compacted = 0
+        # Highest value at the last compaction sweep; sweeps are
+        # amortized (one O(|missing|) pass per `horizon` advance), so
+        # the set holds at most ~2·horizon sequence slots' worth of gaps.
+        self._swept_at: Optional[int] = None
 
     @property
     def highest_seq(self) -> Optional[int]:
@@ -41,6 +78,21 @@ class LossRateEstimator:
 
     @property
     def missing_count(self) -> int:
+        """Total heartbeats currently counted as missing (incl. compacted)."""
+        return len(self._missing) + self._lost_compacted
+
+    @property
+    def reorder_horizon(self) -> Optional[int]:
+        return self._horizon
+
+    @property
+    def compacted_count(self) -> int:
+        """Missing numbers already folded into the integer lost-count."""
+        return self._lost_compacted
+
+    @property
+    def pending_missing(self) -> int:
+        """Missing numbers still held individually (reorder-recoverable)."""
         return len(self._missing)
 
     @property
@@ -57,20 +109,47 @@ class LossRateEstimator:
                 f"sequence number {seq} below first_seq {self._first_seq}"
             )
         if self._highest is None:
-            self._missing.update(range(self._first_seq, seq))
+            self._add_missing_range(self._first_seq, seq)
             self._highest = seq
+            self._swept_at = seq
         elif seq > self._highest:
-            self._missing.update(range(self._highest + 1, seq))
+            self._add_missing_range(self._highest + 1, seq)
             self._highest = seq
+            self._maybe_compact()
         elif seq in self._missing:
             self._missing.discard(seq)  # late arrival, not a loss
         else:
-            return  # duplicate: ignore (footnote 8: first copy counts)
+            return  # duplicate (footnote 8) or beyond-horizon straggler
         self._received_count += 1
+
+    def _add_missing_range(self, lo: int, hi: int) -> None:
+        """Mark ``[lo, hi)`` missing, without materializing numbers that
+        are already beyond the reorder horizon of ``hi - 1``'s window
+        (a long partition or a late-joining monitor can open a gap far
+        wider than the horizon in one step)."""
+        if self._horizon is not None:
+            cutoff = hi - self._horizon
+            if cutoff > lo:
+                self._lost_compacted += cutoff - lo
+                lo = cutoff
+        self._missing.update(range(lo, hi))
+
+    def _maybe_compact(self) -> None:
+        if self._horizon is None:
+            return
+        assert self._highest is not None and self._swept_at is not None
+        if self._highest - self._swept_at < self._horizon:
+            return
+        cutoff = self._highest - self._horizon
+        stale = [s for s in self._missing if s < cutoff]
+        if stale:
+            self._missing.difference_update(stale)
+            self._lost_compacted += len(stale)
+        self._swept_at = self._highest
 
     def estimate(self) -> float:
         """Current estimate of ``p_L`` (0 before any observation)."""
         n = self.n_observed
         if n == 0:
             return 0.0
-        return len(self._missing) / n
+        return self.missing_count / n

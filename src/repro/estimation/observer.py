@@ -55,6 +55,10 @@ class HeartbeatObserver:
         arrival_window: number of recent heartbeats for the EA estimate
             (n in eq. 6.3; the paper's simulations use 32).
         first_seq: first heartbeat sequence number.
+        loss_reorder_horizon: reorder horizon of the loss estimator (how
+            far below the highest sequence number a late arrival can
+            still be un-counted); bounds the estimator's memory for
+            long-running monitors.  ``None`` keeps every missing number.
     """
 
     def __init__(
@@ -63,8 +67,11 @@ class HeartbeatObserver:
         stats_window: int = 1000,
         arrival_window: int = 32,
         first_seq: int = 1,
+        loss_reorder_horizon: int = 1024,
     ) -> None:
-        self._loss = LossRateEstimator(first_seq=first_seq)
+        self._loss = LossRateEstimator(
+            first_seq=first_seq, reorder_horizon=loss_reorder_horizon
+        )
         self._stats = WindowedDelayStats(window=stats_window)
         self._arrival = ArrivalTimeEstimator(eta=eta, window=arrival_window)
 

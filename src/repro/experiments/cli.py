@@ -106,6 +106,13 @@ _EXPERIMENTS: Dict[str, Callable[[bool, int, Optional[int]], list]] = {
 
 
 def main(argv: Optional[list] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "live":
+        # The live runtime has its own sub-CLI (soak/send/monitor) with
+        # role-specific options; hand it everything after "live".
+        from repro.experiments.live_cli import live_main
+
+        return live_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
@@ -118,7 +125,8 @@ def main(argv: Optional[list] = None) -> int:
         choices=sorted(_EXPERIMENTS) + ["all", "report"],
         help=(
             "which experiment to run ('all' for every one; 'report' "
-            "writes a single markdown report with every table)"
+            "writes a single markdown report with every table; see also "
+            "the 'live' subcommand: `... live {soak,send,monitor} -h`)"
         ),
     )
     parser.add_argument(

@@ -1,0 +1,402 @@
+"""The monitoring process q on a real event loop.
+
+:class:`LiveMonitorService` is the live counterpart of
+:class:`~repro.service.monitor_service.MonitorService`: it receives raw
+datagrams from a transport, decodes them, and dispatches each heartbeat
+to the per-peer :class:`~repro.live.runtime.LiveDetectorHost` — with the
+operational hardening a wall-clock service needs:
+
+* **bounded inbox** — the transport callback only enqueues; a consumer
+  task drains.  When the queue is full the datagram is dropped and
+  counted (``live_inbox_dropped_total``), never blocking the loop: for
+  a failure detector, a *late* heartbeat is worse than a lost one.
+* **junk tolerance** — undecodable datagrams (port scans, misdirected
+  traffic) are counted, not raised; so are heartbeats from unknown
+  senders and from sequence numbers before the observation window.
+* **incarnation dispatch** — a heartbeat with a higher incarnation than
+  the current host means the peer restarted (footnote 2: a new
+  identity): the old incarnation's host is finalized into the results
+  and a fresh detector is started via the peer's factory; lower
+  incarnations are stale stragglers and are dropped.
+* **supervised consumer** — the inbox consumer runs under a
+  :class:`~repro.live.supervisor.TaskSupervisor` and is restarted if it
+  ever dies on an unexpected exception.
+
+All measurement state (traces, online QoS estimators, observers) lives
+in the hosts; the service contributes registry counters so an operator
+can watch the stream (``live_*`` series, exported through the existing
+:mod:`repro.telemetry.export` JSONL/Prometheus writers unchanged).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.base import HeartbeatFailureDetector
+from repro.errors import EstimationError, InvalidParameterError, SimulationError
+from repro.estimation.observer import HeartbeatObserver
+from repro.live.runtime import LiveDetectorHost
+from repro.live.supervisor import TaskSupervisor
+from repro.live.wire import LiveHeartbeat, WireError, decode_heartbeat
+from repro.metrics.transitions import SUSPECT, OutputTrace
+from repro.telemetry.qos_online import OnlineQoSEstimator
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = ["LiveMonitorService", "LivePeerResult"]
+
+DetectorFactory = Callable[[int], HeartbeatFailureDetector]
+
+#: auto-admission hook: name -> (detector_factory, eta), or None to refuse.
+AdmitHook = Callable[[str], Optional[tuple]]
+
+
+@dataclass(frozen=True)
+class LivePeerResult:
+    """The closed measurement state of one monitored incarnation."""
+
+    name: str
+    incarnation: int
+    first_seq: int
+    trace: Optional[OutputTrace]
+    estimator: OnlineQoSEstimator
+    observer: HeartbeatObserver
+    delivered: int
+
+
+class _Peer:
+    __slots__ = (
+        "name",
+        "eta",
+        "factory",
+        "incarnation",
+        "first_seq",
+        "host",
+        "observer_kwargs",
+    )
+
+    def __init__(self, name, eta, factory, observer_kwargs) -> None:
+        self.name = name
+        self.eta = eta
+        self.factory = factory
+        self.observer_kwargs = observer_kwargs
+        self.incarnation = 0
+        self.first_seq = 1
+        self.host: Optional[LiveDetectorHost] = None
+
+
+class LiveMonitorService:
+    """Monitors a set of peers from a live datagram stream.
+
+    Args:
+        loop: the event loop (defaults to the running loop).
+        origin: loop time at which local time reads zero (defaults to
+            *now*; share it with in-process senders for synchronized
+            clocks, or anchor it to the Unix epoch for UDP peers).
+        registry: metrics registry for the ``live_*`` series.
+        inbox_limit: bounded-inbox capacity in datagrams.
+        warmup: per-incarnation startup span excluded from online QoS.
+        keep_traces: retain full output traces (on for soaks/tests, off
+            for indefinitely-running services).
+    """
+
+    def __init__(
+        self,
+        *,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        origin: Optional[float] = None,
+        registry: Optional[MetricsRegistry] = None,
+        inbox_limit: int = 4096,
+        warmup: float = 0.0,
+        keep_traces: bool = True,
+        auto_admit: Optional[AdmitHook] = None,
+    ) -> None:
+        if inbox_limit < 1:
+            raise InvalidParameterError(
+                f"inbox_limit must be >= 1, got {inbox_limit}"
+            )
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self._origin = (
+            self._loop.time() if origin is None else float(origin)
+        )
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._warmup = float(warmup)
+        self._keep_traces = keep_traces
+        self._auto_admit = auto_admit
+        self._inbox: asyncio.Queue = asyncio.Queue(maxsize=inbox_limit)
+        self._peers: Dict[str, _Peer] = {}
+        self._results: List[LivePeerResult] = []
+        self._suspected: set = set()
+        self._supervisor = TaskSupervisor()
+        self._started = False
+        self._closed = False
+
+        reg = self.registry
+        self._c_received = reg.counter(
+            "live_datagrams_received_total", "datagrams offered to the inbox"
+        )
+        self._c_inbox_dropped = reg.counter(
+            "live_inbox_dropped_total",
+            "datagrams dropped because the inbox was full",
+        )
+        self._c_invalid = reg.counter(
+            "live_datagrams_invalid_total", "datagrams that failed to decode"
+        )
+        self._c_unknown = reg.counter(
+            "live_unknown_sender_total", "heartbeats from unregistered peers"
+        )
+        self._c_stale = reg.counter(
+            "live_stale_incarnation_total",
+            "heartbeats from a superseded incarnation",
+        )
+        self._c_prewindow = reg.counter(
+            "live_prewindow_heartbeats_total",
+            "heartbeats sequenced before the observation window",
+        )
+        self._c_dispatched = reg.counter(
+            "live_heartbeats_dispatched_total",
+            "heartbeats delivered to a detector host",
+        )
+        self._c_restarts = reg.counter(
+            "live_incarnation_restarts_total",
+            "peer restarts observed via a higher incarnation",
+        )
+        self._t_trust = reg.counter(
+            "live_transitions_total",
+            "detector output transitions",
+            labels={"output": "T"},
+        )
+        self._t_suspect = reg.counter(
+            "live_transitions_total",
+            "detector output transitions",
+            labels={"output": "S"},
+        )
+        self._g_suspected = reg.gauge(
+            "live_suspected_processes", "peers currently suspected"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Clock
+    # ------------------------------------------------------------------ #
+
+    @property
+    def origin(self) -> float:
+        return self._origin
+
+    def local_now(self) -> float:
+        return self._loop.time() - self._origin
+
+    # ------------------------------------------------------------------ #
+    # Peers
+    # ------------------------------------------------------------------ #
+
+    def add_peer(
+        self,
+        name: str,
+        detector_factory: DetectorFactory,
+        *,
+        eta: float,
+        stats_window: int = 1000,
+        arrival_window: int = 32,
+        loss_reorder_horizon: Optional[int] = 1024,
+    ) -> None:
+        """Register a peer and start monitoring it now.
+
+        Args:
+            name: the peer's process name (the wire identity).
+            detector_factory: called as ``factory(first_seq)`` for every
+                incarnation; must return a fresh unbound detector.
+            eta: the peer's nominal inter-sending time (for the
+                estimation pipeline and the first-seq computation).
+        """
+        if name in self._peers:
+            raise InvalidParameterError(f"peer {name!r} already monitored")
+        if eta <= 0:
+            raise InvalidParameterError(f"eta must be positive, got {eta}")
+        peer = _Peer(
+            name=name,
+            eta=float(eta),
+            factory=detector_factory,
+            observer_kwargs={
+                "stats_window": stats_window,
+                "arrival_window": arrival_window,
+                "loss_reorder_horizon": loss_reorder_horizon,
+            },
+        )
+        self._peers[name] = peer
+        self._start_incarnation(peer, incarnation=0)
+
+    def _start_incarnation(self, peer: _Peer, incarnation: int) -> None:
+        # A detector started mid-stream must begin at the current send
+        # window, not at seq 1 — same first-seq rule as MonitorService.
+        first_seq = max(1, int(math.floor(self.local_now() / peer.eta)) + 1)
+        detector = peer.factory(first_seq)
+        observer = HeartbeatObserver(
+            eta=peer.eta, first_seq=first_seq, **peer.observer_kwargs
+        )
+        host = LiveDetectorHost(
+            detector,
+            loop=self._loop,
+            origin=self._origin,
+            warmup=self._warmup,
+            keep_trace=self._keep_traces,
+            observer=observer,
+            on_transition=lambda t, out, name=peer.name: self._note_transition(
+                name, out
+            ),
+        )
+        peer.incarnation = incarnation
+        peer.first_seq = first_seq
+        peer.host = host
+        self._suspected.add(peer.name)  # paper detectors start at S
+        self._g_suspected.set(len(self._suspected))
+        host.start()
+
+    def _finalize_incarnation(self, peer: _Peer) -> None:
+        host = peer.host
+        if host is None:
+            return
+        trace = host.finish()
+        self._results.append(
+            LivePeerResult(
+                name=peer.name,
+                incarnation=peer.incarnation,
+                first_seq=peer.first_seq,
+                trace=trace,
+                estimator=host.estimator,
+                observer=host.observer,
+                delivered=host.delivered_count,
+            )
+        )
+        peer.host = None
+
+    def _try_admit(self, name: str) -> Optional[_Peer]:
+        """Admit an unknown sender through the auto-admission hook."""
+        if self._auto_admit is None:
+            return None
+        spec = self._auto_admit(name)
+        if spec is None:
+            return None
+        factory, eta = spec
+        self.add_peer(name, factory, eta=eta)
+        return self._peers[name]
+
+    def _note_transition(self, name: str, output: str) -> None:
+        if output == SUSPECT:
+            self._t_suspect.inc()
+            self._suspected.add(name)
+        else:
+            self._t_trust.inc()
+            self._suspected.discard(name)
+        self._g_suspected.set(len(self._suspected))
+
+    @property
+    def peer_names(self) -> List[str]:
+        return sorted(self._peers)
+
+    @property
+    def suspected(self) -> set:
+        return set(self._suspected)
+
+    def host(self, name: str) -> LiveDetectorHost:
+        """The live host of a peer's current incarnation."""
+        peer = self._peers.get(name)
+        if peer is None or peer.host is None:
+            raise SimulationError(f"no live host for peer {name!r}")
+        return peer.host
+
+    # ------------------------------------------------------------------ #
+    # Datagram path
+    # ------------------------------------------------------------------ #
+
+    def on_datagram(self, payload: bytes) -> None:
+        """Transport callback: enqueue, never block, drop-and-count."""
+        self._c_received.inc()
+        try:
+            self._inbox.put_nowait(payload)
+        except asyncio.QueueFull:
+            self._c_inbox_dropped.inc()
+
+    async def _consume(self) -> None:
+        while True:
+            payload = await self._inbox.get()
+            self._dispatch(payload)
+
+    def _dispatch(self, payload: bytes) -> None:
+        try:
+            hb = decode_heartbeat(payload)
+        except WireError:
+            self._c_invalid.inc()
+            return
+        peer = self._peers.get(hb.sender)
+        if peer is None:
+            peer = self._try_admit(hb.sender)
+            if peer is None:
+                self._c_unknown.inc()
+                return
+        if hb.incarnation < peer.incarnation or peer.host is None:
+            self._c_stale.inc()
+            return
+        if hb.incarnation > peer.incarnation:
+            # The peer restarted: footnote 2 — a new identity.  Close the
+            # old incarnation's books and start a fresh detector.
+            self._c_restarts.inc()
+            self._finalize_incarnation(peer)
+            self._start_incarnation(peer, incarnation=hb.incarnation)
+        self._deliver(peer, hb)
+
+    def _deliver(self, peer: _Peer, hb: LiveHeartbeat) -> None:
+        assert peer.host is not None
+        try:
+            peer.host.deliver(hb)
+        except EstimationError:
+            # Sequenced before this incarnation's window (clock skew on
+            # the sender side, or a straggler from before a restart).
+            self._c_prewindow.inc()
+            return
+        self._c_dispatched.inc()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Start the supervised inbox consumer."""
+        if self._started:
+            raise SimulationError("service already started")
+        self._started = True
+        self._supervisor.spawn("monitor-inbox", self._consume, restart=True)
+
+    async def aclose(self) -> List[LivePeerResult]:
+        """Graceful shutdown: drain the consumer, close every host.
+
+        Returns the results of all incarnations (historic restarts plus
+        the ones finalized now), in finalization order.
+        """
+        if self._closed:
+            return list(self._results)
+        self._closed = True
+        if self._started:
+            await self._supervisor.shutdown()
+        # Drain datagrams that were queued but not yet consumed, so a
+        # burst right before shutdown still reaches the books.
+        while True:
+            try:
+                payload = self._inbox.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            self._dispatch(payload)
+        for name in sorted(self._peers):
+            self._finalize_incarnation(self._peers[name])
+        return list(self._results)
+
+    @property
+    def results(self) -> List[LivePeerResult]:
+        """Finalized incarnations so far (all of them after aclose)."""
+        return list(self._results)
+
+    @property
+    def consumer_crashes(self):
+        return self._supervisor.crashes

@@ -1,0 +1,204 @@
+"""Hosting a detector on a real event loop.
+
+:class:`LiveDetectorHost` is the wall-clock counterpart of the
+simulator's :class:`~repro.sim.monitor.DetectorHost`: it satisfies the
+:class:`~repro.core.base.DetectorRuntime` protocol, so the *unmodified*
+detectors from :mod:`repro.core` run against real heartbeat messages.
+
+Local time is the event loop's monotonic clock shifted by an *origin*:
+``local_now() = loop.time() − origin``.  Freshness deadlines are armed
+with ``loop.call_at(origin + local_time, ...)`` — the loop's timer wheel
+wakes the detector exactly at its deadline; nothing polls.  Picking the
+origin is how deployments express their clock regime:
+
+* loopback / one process: every host and sender shares one origin on
+  one loop clock — exactly synchronized clocks, the Section 5 regime
+  NFD-S assumes;
+* two machines: each side anchors its origin so that local time equals
+  Unix time (a shared epoch); clocks are then synchronized only as well
+  as NTP keeps them, which is the regime NFD-E and NFD-U tolerate.
+
+The host also owns the per-incarnation measurement state: an
+:class:`~repro.metrics.transitions.OutputTrace` (sample-level T_MR/T_M,
+for conformance gating) and an
+:class:`~repro.telemetry.qos_online.OnlineQoSEstimator` (constant-memory
+running QoS, for telemetry export) — both fed from the same transition
+stream, in local time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, List, Optional
+
+from repro.core.base import Heartbeat, HeartbeatFailureDetector
+from repro.errors import SimulationError
+from repro.estimation.observer import HeartbeatObserver
+from repro.live.wire import LiveHeartbeat
+from repro.metrics.transitions import OutputTrace
+from repro.telemetry.qos_online import OnlineQoSEstimator
+
+__all__ = ["LiveDetectorHost"]
+
+
+class _InertTimer:
+    """Timer handle for a stopped host: never fires, cancel is a no-op."""
+
+    __slots__ = ()
+
+    def cancel(self) -> None:
+        pass
+
+
+class LiveDetectorHost:
+    """Runs one failure detector against wall-clock time.
+
+    Args:
+        detector: an unbound detector instance (it is bound here).
+        loop: the event loop providing the clock and timers.
+        origin: loop time at which the local clock reads zero.
+        warmup: initial local-time span excluded from the online QoS
+            accounting (startup transients).
+        keep_trace: retain the full :class:`OutputTrace` (O(mistakes)
+            memory — leave off for long-lived services, on for soaks).
+        observer: optional :class:`HeartbeatObserver` fed every receipt
+            (the Section 5/6 loss/delay/EA estimation pipeline).
+        on_transition: optional hook ``(local_time, output)`` called on
+            every output transition (after the trace/estimator update).
+    """
+
+    def __init__(
+        self,
+        detector: HeartbeatFailureDetector,
+        *,
+        loop: asyncio.AbstractEventLoop,
+        origin: float,
+        warmup: float = 0.0,
+        keep_trace: bool = True,
+        observer: Optional[HeartbeatObserver] = None,
+        on_transition: Optional[Callable[[float, str], None]] = None,
+    ) -> None:
+        self._loop = loop
+        self._origin = float(origin)
+        self._detector = detector
+        self._observer = observer
+        self._on_transition_hook = on_transition
+        self._stopped = False
+        self._delivered = 0
+        self._timers: List[asyncio.TimerHandle] = []
+        start = self.local_now()
+        self._trace: Optional[OutputTrace] = (
+            OutputTrace(start_time=start, initial_output=detector.output)
+            if keep_trace
+            else None
+        )
+        self._estimator = OnlineQoSEstimator(
+            start_time=start,
+            initial_output=detector.output,
+            warmup=warmup,
+        )
+        detector.bind(self, self._on_transition)
+
+    # ------------------------------------------------------------------ #
+    # DetectorRuntime protocol
+    # ------------------------------------------------------------------ #
+
+    def local_now(self) -> float:
+        return self._loop.time() - self._origin
+
+    def call_at(self, local_time: float, callback) -> asyncio.TimerHandle:
+        if self._stopped:
+            # A stopped host arms nothing: handing the detector an inert
+            # handle terminates its self-rescheduling timer chain.
+            return _InertTimer()
+        # asyncio fires past deadlines as soon as possible, which is the
+        # catch-up behaviour a late-started detector needs.
+        handle = self._loop.call_at(self._origin + local_time, callback)
+        if len(self._timers) >= 8:
+            now = self._loop.time()
+            self._timers = [
+                h
+                for h in self._timers
+                if not h.cancelled() and h.when() > now
+            ]
+        self._timers.append(handle)
+        return handle
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+
+    @property
+    def detector(self) -> HeartbeatFailureDetector:
+        return self._detector
+
+    @property
+    def observer(self) -> Optional[HeartbeatObserver]:
+        return self._observer
+
+    @property
+    def estimator(self) -> OnlineQoSEstimator:
+        return self._estimator
+
+    @property
+    def delivered_count(self) -> int:
+        return self._delivered
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def start(self) -> None:
+        if self._stopped:
+            raise SimulationError("host already stopped")
+        self._detector.start()
+
+    def deliver(self, heartbeat: LiveHeartbeat) -> None:
+        """Feed one decoded heartbeat; receipt time is local *now*."""
+        if self._stopped:
+            return  # late arrival to a removed incarnation
+        self._delivered += 1
+        hb = Heartbeat(
+            seq=heartbeat.seq,
+            send_local_time=heartbeat.send_local_time,
+            receive_local_time=self.local_now(),
+        )
+        if self._observer is not None:
+            self._observer.observe(hb)
+        self._detector.on_heartbeat(hb)
+
+    def _on_transition(self, local_time: float, output: str) -> None:
+        if self._stopped:
+            return  # stray callback after stop()
+        if self._trace is not None:
+            self._trace.record(local_time, output)
+        self._estimator.observe(local_time, output)
+        if self._on_transition_hook is not None:
+            self._on_transition_hook(local_time, output)
+
+    def stop(self) -> None:
+        """Neutralize the host: cancel timers, ignore future deliveries.
+
+        Without this, a removed incarnation's detector would keep
+        re-arming its freshness-point chain on the loop forever.
+        Idempotent; measurement state is closed by :meth:`finish`.
+        """
+        self._stopped = True
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
+
+    def finish(
+        self, end_local_time: Optional[float] = None
+    ) -> Optional[OutputTrace]:
+        """Stop the host and close its measurement state.
+
+        Returns the closed trace (None when ``keep_trace`` was off).
+        """
+        end = self.local_now() if end_local_time is None else end_local_time
+        self.stop()
+        if not self._estimator.closed:
+            self._estimator.close(end)
+        if self._trace is not None and not self._trace.closed:
+            self._trace.close(end)
+        return self._trace

@@ -1,0 +1,105 @@
+"""Wire format for live heartbeat messages.
+
+One heartbeat is one datagram.  The payload is a fixed header plus the
+sender's name:
+
+====== ======== ==========================================================
+offset format   field
+====== ======== ==========================================================
+0      ``4s``   magic ``b"RQHB"``
+4      ``B``    version (currently 1)
+5      ``I``    incarnation (bumped on every restart; footnote 2 of the
+                paper — a restarted process assumes a new identity)
+9      ``Q``    sequence number ``i`` of message ``m_i``
+17     ``d``    ``σ_i`` — p's local clock reading at the (nominal) send
+25     ``H``    sender-name length ``L``
+27     ``Ls``   sender name, UTF-8
+====== ======== ==========================================================
+
+All integers are network byte order.  The send timestamp is the
+*nominal* ``σ_i = i·η`` of the sender's schedule, not the actual wall
+time the datagram left the socket — exactly the semantics of the
+simulator's :class:`~repro.sim.heartbeat.HeartbeatSender`, and what the
+Section 5/6 estimators expect (``A − S`` measures delay *plus* any send
+lateness, which is part of the end-to-end behaviour being estimated).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = ["WireError", "LiveHeartbeat", "encode_heartbeat", "decode_heartbeat"]
+
+MAGIC = b"RQHB"
+VERSION = 1
+_HEADER = struct.Struct("!4sBIQdH")
+MAX_NAME_BYTES = 0xFFFF
+
+
+class WireError(ReproError):
+    """A datagram could not be decoded as a live heartbeat."""
+
+
+@dataclass(frozen=True)
+class LiveHeartbeat:
+    """A decoded heartbeat datagram."""
+
+    sender: str
+    incarnation: int
+    seq: int
+    send_local_time: float
+
+
+def encode_heartbeat(
+    sender: str, incarnation: int, seq: int, send_local_time: float
+) -> bytes:
+    """Serialize one heartbeat into a datagram payload."""
+    name = sender.encode("utf-8")
+    if len(name) > MAX_NAME_BYTES:
+        raise WireError(f"sender name too long ({len(name)} bytes)")
+    if seq < 0:
+        raise WireError(f"seq must be >= 0, got {seq}")
+    if incarnation < 0:
+        raise WireError(f"incarnation must be >= 0, got {incarnation}")
+    return (
+        _HEADER.pack(
+            MAGIC, VERSION, incarnation, seq, float(send_local_time), len(name)
+        )
+        + name
+    )
+
+
+def decode_heartbeat(payload: bytes) -> LiveHeartbeat:
+    """Parse a datagram payload; raises :class:`WireError` on junk.
+
+    A monitor bound to a real UDP port will receive stray datagrams
+    (port scans, misdirected traffic); decoding failures are ordinary
+    events to be counted, not crashes.
+    """
+    if len(payload) < _HEADER.size:
+        raise WireError(f"datagram too short ({len(payload)} bytes)")
+    magic, version, incarnation, seq, send_local_time, name_len = (
+        _HEADER.unpack_from(payload)
+    )
+    if magic != MAGIC:
+        raise WireError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise WireError(f"unsupported version {version}")
+    name = payload[_HEADER.size : _HEADER.size + name_len]
+    if len(name) != name_len:
+        raise WireError(
+            f"truncated name: header says {name_len}, got {len(name)} bytes"
+        )
+    try:
+        sender = name.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireError(f"sender name is not UTF-8: {exc}") from None
+    return LiveHeartbeat(
+        sender=sender,
+        incarnation=incarnation,
+        seq=seq,
+        send_local_time=send_local_time,
+    )

@@ -41,6 +41,7 @@ __all__ = [
     "STREAM_CRASH_TIMES",
     "STREAM_FASTSIM",
     "STREAM_FAULTS",
+    "STREAM_LIVE",
     "stream_key",
     "seed_sequence",
     "derive_rng",
@@ -54,6 +55,7 @@ STREAM_CRASH_RUN = 0xC0DE  # crash (detection-time) runs, by run index
 STREAM_CRASH_TIMES = 0xC4A54  # the one-shot crash-time vector draw
 STREAM_FASTSIM = 0xFA57  # vectorized simulators, by sweep-point index
 STREAM_FAULTS = 0xFA17  # fault-injection draws (dup/reorder), by run index
+STREAM_LIVE = 0x11FE  # live-runtime loopback links, by peer index
 
 
 def stream_key(seed: int, stream: int, index: int = 0) -> Tuple[int, int, int]:

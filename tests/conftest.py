@@ -30,3 +30,8 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: statistically heavy test (seconds, not ms)"
     )
+    config.addinivalue_line(
+        "markers",
+        "live: wall-clock live-runtime test (runs a real event loop for "
+        "seconds to minutes; excluded from the default run via addopts)",
+    )

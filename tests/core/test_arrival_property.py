@@ -1,0 +1,92 @@
+"""Property tests for the eq. (6.3) expected-arrival estimator.
+
+Two properties the NFD-E machinery leans on:
+
+* the O(1) sliding-window implementation agrees with a from-scratch
+  recomputation of eq. (6.3) over the current window contents, for
+  arbitrary observe sequences (gaps, reordering, duplicates); and
+* a constant offset added to every receipt time (the Section 6.2.2
+  clock-skew regime) shifts the estimate by exactly that offset — the
+  detector's freshness decisions, which compare receipt times against
+  ``EA + α`` in the *same* clock, are therefore skew-invariant.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nfd_e import ArrivalTimeEstimator
+
+
+def _recompute_ea(entries, eta, seq):
+    """Eq. (6.3) from scratch over the window contents."""
+    normalized = [a - eta * s for s, a in entries]
+    return math.fsum(normalized) / len(normalized) + eta * seq
+
+
+@st.composite
+def observe_sequences(draw):
+    """An eta, a window size, and an arbitrary long observe sequence.
+
+    Sequence numbers follow a random walk with gaps and occasional
+    re-deliveries; receipt times are arbitrary finite values (the
+    estimator itself assumes nothing about their order)."""
+    eta = draw(st.floats(min_value=1e-3, max_value=100.0,
+                         allow_nan=False, allow_infinity=False))
+    window = draw(st.integers(min_value=1, max_value=48))
+    n = draw(st.integers(min_value=1, max_value=150))
+    seqs = draw(
+        st.lists(st.integers(min_value=1, max_value=10_000),
+                 min_size=n, max_size=n)
+    )
+    times = draw(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                           allow_nan=False, allow_infinity=False),
+                 min_size=n, max_size=n)
+    )
+    query_seq = draw(st.integers(min_value=1, max_value=20_000))
+    return eta, window, list(zip(seqs, times)), query_seq
+
+
+@settings(max_examples=200, deadline=None)
+@given(observe_sequences())
+def test_expected_arrival_matches_from_scratch_recompute(case):
+    eta, window, observations, query_seq = case
+    est = ArrivalTimeEstimator(eta=eta, window=window)
+    for seq, t in observations:
+        est.observe(seq, t)
+    window_contents = observations[-window:]
+    assert est.n_samples == len(window_contents)
+    expected = _recompute_ea(window_contents, eta, query_seq)
+    got = est.expected_arrival(query_seq)
+    # Scale-aware tolerance: normalized terms reach ~eta*seq in size.
+    scale = max(
+        1.0,
+        max(abs(a) + eta * s for s, a in window_contents),
+        eta * query_seq,
+    )
+    assert math.isclose(got, expected, rel_tol=1e-9, abs_tol=1e-9 * scale)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    observe_sequences(),
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+)
+def test_constant_clock_offset_shifts_ea_by_exactly_the_offset(case, offset):
+    eta, window, observations, query_seq = case
+    plain = ArrivalTimeEstimator(eta=eta, window=window)
+    skewed = ArrivalTimeEstimator(eta=eta, window=window)
+    for seq, t in observations:
+        plain.observe(seq, t)
+        skewed.observe(seq, t + offset)
+    base = plain.expected_arrival(query_seq)
+    shifted = skewed.expected_arrival(query_seq)
+    scale = max(1.0, abs(base), abs(offset), eta * query_seq)
+    assert math.isclose(
+        shifted - base, offset, rel_tol=0.0, abs_tol=1e-7 * scale
+    )

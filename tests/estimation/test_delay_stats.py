@@ -96,3 +96,57 @@ class TestWindowedDelayStats:
         for _ in range(4):
             win.observe(1e9)  # identical large values: rounding hazards
         assert win.variance() >= 0.0
+
+    def test_no_drift_after_a_million_evictions(self, rng):
+        """Long-running-service regression: after >= 1e6 updates the
+        running sums must still equal an exact (fsum) recompute from the
+        retained window.  The samples ride on a constant clock skew
+        (the Section 6.2.2 unsynchronized regime), which is what makes
+        each eviction leave a rounding residue; pre-fix, 1e6 evictions
+        accumulate a relative variance error around 1e-3 here, orders of
+        magnitude beyond the tolerance this test pins."""
+        window = 64
+        win = WindowedDelayStats(window=window)
+        offset = 1.0e3  # constant skew >> delay scale
+        chunk = 20_000
+        # 1_000_000 updates = 999_936 evictions = an exact multiple of
+        # the window, so the final eviction lands on a resync and the
+        # running sums must be *exactly* the fsum of the deque.
+        n_total = 1_000_000
+        assert (n_total - window) % window == 0
+        for _ in range(n_total // chunk):
+            data = offset + rng.exponential(0.02, chunk)
+            for x in data:
+                win.observe(float(x))
+        assert win.n_samples == window
+        retained = np.asarray(win._samples, dtype=float)
+        # Direct recompute with the same formula, from exact sums.
+        exact_sum = math.fsum(retained)
+        exact_sum_sq = math.fsum(x * x for x in retained)
+        exact_mean = exact_sum / window
+        exact_var = max(exact_sum_sq - window * exact_mean**2, 0.0) / (
+            window - 1
+        )
+        assert win.mean() == pytest.approx(exact_mean, rel=1e-13, abs=0.0)
+        assert win.variance() == pytest.approx(exact_var, rel=1e-9)
+        # Cross-check against numpy's two-pass variance: the formula is
+        # well-conditioned at this skew, so the values must also agree.
+        assert win.variance() == pytest.approx(
+            retained.var(ddof=1), rel=1e-5
+        )
+        # The skew must not leak into the variance: it estimates V(D),
+        # around 0.02**2, not anything offset-sized.
+        assert win.variance() == pytest.approx(0.02**2, rel=0.5)
+
+    def test_resync_cadence_amortized(self):
+        """The exact recompute runs once per `window` evictions, keeping
+        the amortized update cost O(1)."""
+        win = WindowedDelayStats(window=8)
+        for i in range(8):
+            win.observe(float(i))
+        assert win._evictions_since_resync == 0
+        for i in range(7):
+            win.observe(float(i))
+        assert win._evictions_since_resync == 7
+        win.observe(99.0)  # 8th eviction triggers the resync
+        assert win._evictions_since_resync == 0

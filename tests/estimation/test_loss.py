@@ -68,3 +68,83 @@ class TestLossRateEstimator:
             if rng.random() >= p:
                 est.observe(s)
         assert est.estimate() == pytest.approx(p, abs=0.01)
+
+
+class TestReorderHorizonCompaction:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LossRateEstimator(reorder_horizon=0)
+
+    def test_estimates_identical_with_and_without_compaction(self, rng):
+        """Compaction is an accounting change, not an estimate change:
+        for any loss/reordering pattern whose displacement stays within
+        the horizon, the two estimators agree exactly at every step."""
+        exact = LossRateEstimator(reorder_horizon=None)
+        compact = LossRateEstimator(reorder_horizon=64)
+        pending = []  # reordered messages waiting to arrive late
+        seq = 0
+        for _ in range(20_000):
+            seq += 1
+            r = rng.random()
+            if r < 0.10:
+                continue  # lost
+            if r < 0.15:
+                # delivered late, displaced by < horizon sequence numbers
+                pending.append((seq + int(rng.integers(1, 40)), seq))
+                continue
+            for est in (exact, compact):
+                est.observe(seq)
+            while pending and pending[0][0] <= seq:
+                _, late = pending.pop(0)
+                for est in (exact, compact):
+                    est.observe(late)
+            assert compact.missing_count == exact.missing_count
+            assert compact.estimate() == exact.estimate()
+
+    def test_memory_bounded_under_genuine_loss(self, rng):
+        """The acceptance gate: >= 1e5 sequence numbers at 10% genuine
+        loss must leave the per-number set bounded by the horizon (the
+        sweep is amortized, so the bound is 2x the horizon of gaps),
+        while the unbounded estimator's set grows with the run."""
+        horizon = 500
+        est = LossRateEstimator(reorder_horizon=horizon)
+        legacy = LossRateEstimator(reorder_horizon=None)
+        p = 0.10
+        lost = 0
+        for s in range(1, 100_001):
+            if rng.random() < p:
+                lost += 1
+                continue
+            est.observe(s)
+            legacy.observe(s)
+            assert est.pending_missing <= 2 * horizon
+        assert est.estimate() == pytest.approx(p, abs=0.01)
+        assert est.estimate() == legacy.estimate()
+        assert est.missing_count == legacy.missing_count
+        # the legacy set really does grow without bound — the bug
+        assert legacy.pending_missing > 5_000
+        assert est.pending_missing <= 2 * horizon
+        assert est.compacted_count + est.pending_missing == est.missing_count
+
+    def test_wide_gap_folds_directly(self):
+        """A gap far wider than the horizon (long partition, late join)
+        must not materialize the whole range even transiently."""
+        est = LossRateEstimator(reorder_horizon=100)
+        est.observe(1)
+        est.observe(1_000_001)
+        assert est.pending_missing <= 100
+        assert est.missing_count == 999_999
+        assert est.estimate() == pytest.approx(999_999 / 1_000_001)
+
+    def test_beyond_horizon_straggler_stays_counted(self):
+        """A message displaced beyond the horizon was already folded
+        into the lost-count; its eventual arrival is ignored rather
+        than double-counted."""
+        est = LossRateEstimator(reorder_horizon=10)
+        est.observe(1)
+        est.observe(100)  # 2..99 missing; 2..89 already compacted
+        before = est.missing_count
+        est.observe(5)  # straggler beyond the horizon
+        assert est.missing_count == before
+        est.observe(95)  # straggler within the horizon: un-counted
+        assert est.missing_count == before - 1

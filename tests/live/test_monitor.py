@@ -1,0 +1,176 @@
+"""Tests for the live monitor service (tier-1: sub-second)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.nfd_s import NFDS
+from repro.errors import InvalidParameterError
+from repro.live.monitor import LiveMonitorService
+from repro.live.wire import encode_heartbeat
+
+
+def counter(service, name, **labels):
+    metric = service.registry.get(name, labels or None)
+    return 0 if metric is None else metric.value
+
+
+async def drain(service, rounds=6):
+    """Give the consumer task a few scheduling rounds."""
+    for _ in range(rounds):
+        await asyncio.sleep(0)
+
+
+def nfds_factory(eta, delta):
+    return lambda first_seq: NFDS(eta, delta, first_seq=first_seq)
+
+
+class TestBackpressure:
+    def test_inbox_drop_and_count(self):
+        async def main():
+            service = LiveMonitorService(inbox_limit=4)
+            # Consumer not started: the queue fills and overflow drops.
+            for i in range(10):
+                service.on_datagram(b"x%d" % i)
+            assert counter(service, "live_datagrams_received_total") == 10
+            assert counter(service, "live_inbox_dropped_total") == 6
+            await service.aclose()
+
+        asyncio.run(main())
+
+    def test_inbox_limit_validated(self):
+        async def main():
+            with pytest.raises(InvalidParameterError):
+                LiveMonitorService(inbox_limit=0)
+
+        asyncio.run(main())
+
+
+class TestJunkTolerance:
+    def test_invalid_and_unknown_counted_not_raised(self):
+        async def main():
+            service = LiveMonitorService()
+            service.start()
+            service.on_datagram(b"not a heartbeat at all")
+            service.on_datagram(
+                encode_heartbeat("nobody-registered", 0, 1, 0.05)
+            )
+            await drain(service)
+            assert counter(service, "live_datagrams_invalid_total") == 1
+            assert counter(service, "live_unknown_sender_total") == 1
+            assert service.consumer_crashes == []
+            await service.aclose()
+
+        asyncio.run(main())
+
+    def test_auto_admit(self):
+        async def main():
+            service = LiveMonitorService(
+                auto_admit=lambda name: (nfds_factory(0.05, 0.02), 0.05)
+            )
+            service.start()
+            service.on_datagram(encode_heartbeat("walk-in", 0, 1, 0.05))
+            await drain(service)
+            assert service.peer_names == ["walk-in"]
+            assert (
+                counter(service, "live_heartbeats_dispatched_total") == 1
+            )
+            await service.aclose()
+
+        asyncio.run(main())
+
+
+class TestIncarnationDispatch:
+    def test_restart_finalizes_and_redispatches(self):
+        async def main():
+            service = LiveMonitorService()
+            service.add_peer(
+                "p0", nfds_factory(0.05, 0.02), eta=0.05
+            )
+            service.start()
+            service.on_datagram(encode_heartbeat("p0", 0, 1, 0.05))
+            await drain(service)
+            assert service.host("p0").delivered_count == 1
+            # Incarnation 2 appears: the peer restarted (twice).
+            service.on_datagram(encode_heartbeat("p0", 2, 1, 0.05))
+            await drain(service)
+            assert counter(service, "live_incarnation_restarts_total") == 1
+            results = service.results
+            assert len(results) == 1
+            assert results[0].incarnation == 0
+            assert results[0].delivered == 1
+            assert results[0].estimator.closed
+            # The restarted incarnation's host got the heartbeat.
+            assert service.host("p0").delivered_count == 1
+            # A straggler from the dead incarnation is dropped.
+            service.on_datagram(encode_heartbeat("p0", 0, 2, 0.10))
+            await drain(service)
+            assert counter(service, "live_stale_incarnation_total") == 1
+            final = await service.aclose()
+            assert [r.incarnation for r in final] == [0, 2]
+
+        asyncio.run(main())
+
+    def test_prewindow_heartbeat_counted(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            # Local clock already at ~1s: first_seq = 21 for eta=0.05.
+            service = LiveMonitorService(origin=loop.time() - 1.0)
+            service.add_peer("p0", nfds_factory(0.05, 0.02), eta=0.05)
+            service.start()
+            service.on_datagram(encode_heartbeat("p0", 0, 1, 0.05))
+            await drain(service)
+            assert (
+                counter(service, "live_prewindow_heartbeats_total") == 1
+            )
+            assert counter(service, "live_heartbeats_dispatched_total") == 0
+            await service.aclose()
+
+        asyncio.run(main())
+
+
+class TestTransitions:
+    def test_suspected_gauge_follows_outputs(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            service = LiveMonitorService(origin=loop.time())
+            service.add_peer("p0", nfds_factory(0.05, 0.02), eta=0.05)
+            service.add_peer("p1", nfds_factory(0.05, 0.02), eta=0.05)
+            service.start()
+            assert service.suspected == {"p0", "p1"}  # S until proven
+            service.on_datagram(encode_heartbeat("p0", 0, 1, 0.05))
+            await drain(service)
+            assert service.suspected == {"p1"}
+            assert counter(
+                service, "live_transitions_total", output="T"
+            ) == 1
+            gauge = service.registry.get("live_suspected_processes")
+            assert gauge.value == 1
+            await service.aclose()
+
+        asyncio.run(main())
+
+    def test_duplicate_peer_rejected(self):
+        async def main():
+            service = LiveMonitorService()
+            service.add_peer("p0", nfds_factory(0.05, 0.02), eta=0.05)
+            with pytest.raises(InvalidParameterError):
+                service.add_peer("p0", nfds_factory(0.05, 0.02), eta=0.05)
+            await service.aclose()
+
+        asyncio.run(main())
+
+    def test_aclose_drains_pending_inbox(self):
+        async def main():
+            service = LiveMonitorService()
+            service.add_peer("p0", nfds_factory(0.05, 0.02), eta=0.05)
+            service.start()
+            # Queued but the consumer never gets a chance to run before
+            # shutdown: aclose must still dispatch it.
+            service.on_datagram(encode_heartbeat("p0", 0, 1, 0.05))
+            results = await service.aclose()
+            assert results[0].delivered == 1
+
+        asyncio.run(main())

@@ -1,0 +1,130 @@
+"""Tests for hosting a detector on the event loop (tier-1: sub-second)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.nfd_s import NFDS
+from repro.live.runtime import LiveDetectorHost
+from repro.live.wire import LiveHeartbeat
+from repro.metrics.transitions import SUSPECT, TRUST
+
+
+def hb(seq, eta=0.05):
+    return LiveHeartbeat(
+        sender="p0", incarnation=0, seq=seq, send_local_time=seq * eta
+    )
+
+
+class TestFreshnessScheduling:
+    def test_nfds_runs_unmodified_on_the_loop(self):
+        """The detector trusts while fed and suspects within δ+η of the
+        stream stopping — driven purely by loop.call_at timers."""
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            eta, delta = 0.04, 0.02
+            host = LiveDetectorHost(
+                NFDS(eta, delta),
+                loop=loop,
+                origin=loop.time(),
+            )
+            host.start()
+            assert host.detector.output == SUSPECT
+            # Feed heartbeats roughly on schedule for ~6 slots.
+            for seq in range(1, 7):
+                await asyncio.sleep(
+                    max(0.0, seq * eta - host.local_now())
+                )
+                host.deliver(hb(seq, eta))
+                assert host.detector.output == TRUST
+            # Stop feeding: permanent suspicion within δ+η (+ latency).
+            await asyncio.sleep(delta + eta + 0.15)
+            assert host.detector.output == SUSPECT
+            trace = host.finish()
+            assert trace.n_transitions >= 2
+            assert trace.current_output == SUSPECT
+            assert host.estimator.closed
+
+        asyncio.run(main())
+
+    def test_stop_cancels_the_timer_chain(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            host = LiveDetectorHost(
+                NFDS(0.01, 0.005), loop=loop, origin=loop.time()
+            )
+            host.start()
+            await asyncio.sleep(0.03)
+            host.stop()
+            transitions_at_stop = (
+                host._trace.n_transitions  # white-box: trace is frozen
+            )
+            await asyncio.sleep(0.05)
+            assert host._trace.n_transitions == transitions_at_stop
+            # Deliveries after stop are ignored, not errors.
+            host.deliver(hb(100, 0.01))
+            assert host.delivered_count == 0
+
+        asyncio.run(main())
+
+
+class TestMeasurementState:
+    def test_trace_and_estimator_agree(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            eta = 0.03
+            host = LiveDetectorHost(
+                NFDS(eta, 0.01), loop=loop, origin=loop.time()
+            )
+            host.start()
+            for seq in (1, 2):
+                await asyncio.sleep(
+                    max(0.0, seq * eta - host.local_now())
+                )
+                host.deliver(hb(seq, eta))
+            await asyncio.sleep(0.1)  # let it lapse into suspicion
+            trace = host.finish()
+            est = host.estimator
+            assert est.n_mistakes == len(trace.s_transition_times)
+            assert host.observer is None
+
+        asyncio.run(main())
+
+    def test_observer_fed_on_delivery(self):
+        from repro.estimation.observer import HeartbeatObserver
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            observer = HeartbeatObserver(eta=0.05)
+            host = LiveDetectorHost(
+                NFDS(0.05, 0.02),
+                loop=loop,
+                origin=loop.time() + 0.05,  # local time starts at -0.05
+                observer=observer,
+            )
+            host.start()
+            host.deliver(hb(1))
+            host.deliver(hb(2))
+            assert observer.loss.received_count == 2
+            assert observer.arrival.n_samples == 2
+
+        asyncio.run(main())
+
+    def test_keep_trace_off(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            host = LiveDetectorHost(
+                NFDS(0.05, 0.02),
+                loop=loop,
+                origin=loop.time(),
+                keep_trace=False,
+            )
+            host.start()
+            host.deliver(hb(1))
+            assert host.finish() is None
+            assert host.estimator.closed
+
+        asyncio.run(main())
