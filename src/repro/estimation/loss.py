@@ -63,6 +63,11 @@ class LossRateEstimator:
         self._missing: Set[int] = set()
         # Missing numbers compacted out of the set: definitively lost.
         self._lost_compacted = 0
+        # Sequence numbers the *monitor itself* shed after network
+        # receipt (bounded-inbox overflow, shutdown races) — announced
+        # via note_local_drop before the surrounding gap opens.  They
+        # reached the machine, so they must not count toward p_L.
+        self._local_drops: Set[int] = set()
         # Highest value at the last compaction sweep; sweeps are
         # amortized (one O(|missing|) pass per `horizon` advance), so
         # the set holds at most ~2·horizon sequence slots' worth of gaps.
@@ -122,17 +127,59 @@ class LossRateEstimator:
             return  # duplicate (footnote 8) or beyond-horizon straggler
         self._received_count += 1
 
+    def note_local_drop(self, seq: int) -> None:
+        """Record that heartbeat ``seq`` reached the monitor but was shed
+        *locally* (bounded-inbox overflow mid-burst, shutdown race)
+        before it could be observed.
+
+        The message traversed the network, so it must not be charged to
+        ``p_L``: when the surrounding sequence gap opens, ``seq`` is
+        excluded from the missing-range accounting instead of sitting in
+        the reorder window as a phantom loss — overload at q would
+        otherwise poison the loss estimate (and through it every
+        configurator decision).  Drops below an already-opened gap are
+        un-counted from the pending missing set directly.  Bounded: at
+        most ~one reorder horizon of shed numbers is retained.
+        """
+        if seq < self._first_seq:
+            return
+        if self._highest is not None and seq <= self._highest:
+            # The gap already opened; rescue it from the missing set if
+            # still within the reorder window (compacted numbers stay
+            # lost — same boundedness contract as reordering).
+            self._missing.discard(seq)
+            return
+        self._local_drops.add(seq)
+        limit = (self._horizon or 1024) * 2
+        if len(self._local_drops) > limit:
+            # Flood guard: forget the oldest announcements (they count
+            # as lost — conservative, and bounded).
+            for stale in sorted(self._local_drops)[: len(self._local_drops) - limit]:
+                self._local_drops.discard(stale)
+
     def _add_missing_range(self, lo: int, hi: int) -> None:
         """Mark ``[lo, hi)`` missing, without materializing numbers that
         are already beyond the reorder horizon of ``hi - 1``'s window
         (a long partition or a late-joining monitor can open a gap far
         wider than the horizon in one step)."""
+        shed = ()
+        if self._local_drops:
+            shed = {s for s in self._local_drops if lo <= s < hi}
+            self._local_drops.difference_update(shed)
         if self._horizon is not None:
             cutoff = hi - self._horizon
             if cutoff > lo:
-                self._lost_compacted += cutoff - lo
+                compacted = cutoff - lo
+                if shed:
+                    compacted -= sum(1 for s in shed if s < cutoff)
+                self._lost_compacted += compacted
                 lo = cutoff
-        self._missing.update(range(lo, hi))
+        if shed:
+            self._missing.update(
+                s for s in range(lo, hi) if s not in shed
+            )
+        else:
+            self._missing.update(range(lo, hi))
 
     def _maybe_compact(self) -> None:
         if self._horizon is None:

@@ -95,6 +95,13 @@ class HeartbeatObserver:
         )
         self._arrival.observe(heartbeat.seq, heartbeat.receive_local_time)
 
+    def note_local_drop(self, seq: int) -> None:
+        """Tell the loss estimator heartbeat ``seq`` was shed *by the
+        monitor* (inbox overflow) after network receipt, so it is not
+        charged to ``p_L`` (delay/EA estimators never saw it and need no
+        correction — they are sample-based, not gap-based)."""
+        self._loss.note_local_drop(seq)
+
     def expected_arrival(self, seq: int) -> float:
         """Estimated ``EA_seq`` (eq. 6.3) in the local clock."""
         return self._arrival.expected_arrival(seq)

@@ -25,6 +25,7 @@ Layers:
 from repro.live.monitor import LiveMonitorService, LivePeerResult
 from repro.live.runtime import LiveDetectorHost
 from repro.live.sender import LiveHeartbeatSender
+from repro.live.soa import LoopWheelScheduler, SoALiveHost
 from repro.live.soak import KillReport, SoakConfig, SoakGate, SoakResult, run_soak
 from repro.live.supervisor import TaskCrash, TaskSupervisor
 from repro.live.transport import (
@@ -46,6 +47,8 @@ __all__ = [
     "LivePeerResult",
     "LiveDetectorHost",
     "LiveHeartbeatSender",
+    "SoALiveHost",
+    "LoopWheelScheduler",
     "SoakConfig",
     "SoakGate",
     "SoakResult",

@@ -39,7 +39,9 @@ from repro.core.base import HeartbeatFailureDetector
 from repro.errors import EstimationError, InvalidParameterError, SimulationError
 from repro.estimation.observer import HeartbeatObserver
 from repro.live.runtime import LiveDetectorHost
+from repro.live.soa import LoopWheelScheduler, SoALiveHost
 from repro.live.supervisor import TaskSupervisor
+from repro.service.soa import VectorMonitorEngine, supports_detector
 from repro.live.wire import LiveHeartbeat, WireError, decode_heartbeat
 from repro.metrics.transitions import SUSPECT, OutputTrace
 from repro.telemetry.qos_online import OnlineQoSEstimator
@@ -84,7 +86,8 @@ class _Peer:
         self.observer_kwargs = observer_kwargs
         self.incarnation = 0
         self.first_seq = 1
-        self.host: Optional[LiveDetectorHost] = None
+        #: LiveDetectorHost (object backend) or SoALiveHost (soa backend)
+        self.host: Optional[object] = None
 
 
 class LiveMonitorService:
@@ -100,6 +103,12 @@ class LiveMonitorService:
         warmup: per-incarnation startup span excluded from online QoS.
         keep_traces: retain full output traces (on for soaks/tests, off
             for indefinitely-running services).
+        engine: ``"object"`` (default) hosts each peer in its own
+            :class:`LiveDetectorHost` with per-peer loop timers;
+            ``"soa"`` hosts NFD-S/U/E peers in a shared
+            :class:`~repro.service.soa.VectorMonitorEngine` — one armed
+            loop timer for the whole service — which is what a monitor
+            tracking 10^4+ live peers needs.  Verdicts are identical.
     """
 
     def __init__(
@@ -112,10 +121,15 @@ class LiveMonitorService:
         warmup: float = 0.0,
         keep_traces: bool = True,
         auto_admit: Optional[AdmitHook] = None,
+        engine: str = "object",
     ) -> None:
         if inbox_limit < 1:
             raise InvalidParameterError(
                 f"inbox_limit must be >= 1, got {inbox_limit}"
+            )
+        if engine not in ("object", "soa"):
+            raise InvalidParameterError(
+                f"unknown engine {engine!r}; expected 'object' or 'soa'"
             )
         self._loop = loop if loop is not None else asyncio.get_event_loop()
         self._origin = (
@@ -125,6 +139,9 @@ class LiveMonitorService:
         self._warmup = float(warmup)
         self._keep_traces = keep_traces
         self._auto_admit = auto_admit
+        self._engine_kind = engine
+        self._soa_engine: Optional[VectorMonitorEngine] = None
+        self._soa_scheduler: Optional[LoopWheelScheduler] = None
         self._inbox: asyncio.Queue = asyncio.Queue(maxsize=inbox_limit)
         self._peers: Dict[str, _Peer] = {}
         self._results: List[LivePeerResult] = []
@@ -139,7 +156,13 @@ class LiveMonitorService:
         )
         self._c_inbox_dropped = reg.counter(
             "live_inbox_dropped_total",
-            "datagrams dropped because the inbox was full",
+            "datagrams dropped on any shed path (inbox full, or arrival "
+            "after shutdown)",
+        )
+        self._c_drop_noted = reg.counter(
+            "live_dropped_heartbeats_noted_total",
+            "shed heartbeats whose sequence numbers were excluded from "
+            "the loss-rate estimate (local overload is not network loss)",
         )
         self._c_invalid = reg.counter(
             "live_datagrams_invalid_total", "datagrams that failed to decode"
@@ -184,6 +207,22 @@ class LiveMonitorService:
     @property
     def origin(self) -> float:
         return self._origin
+
+    @property
+    def engine(self) -> str:
+        """The selected backend (``"object"`` or ``"soa"``)."""
+        return self._engine_kind
+
+    @property
+    def soa_engine(self) -> Optional[VectorMonitorEngine]:
+        """The shared SoA engine, if the service has built one."""
+        return self._soa_engine
+
+    def _soa(self) -> VectorMonitorEngine:
+        if self._soa_engine is None:
+            self._soa_scheduler = LoopWheelScheduler(self._loop, self._origin)
+            self._soa_engine = VectorMonitorEngine(self._soa_scheduler)
+        return self._soa_engine
 
     def local_now(self) -> float:
         return self._loop.time() - self._origin
@@ -236,17 +275,27 @@ class LiveMonitorService:
         observer = HeartbeatObserver(
             eta=peer.eta, first_seq=first_seq, **peer.observer_kwargs
         )
-        host = LiveDetectorHost(
-            detector,
-            loop=self._loop,
-            origin=self._origin,
-            warmup=self._warmup,
-            keep_trace=self._keep_traces,
-            observer=observer,
-            on_transition=lambda t, out, name=peer.name: self._note_transition(
-                name, out
-            ),
-        )
+        hook = lambda t, out, name=peer.name: self._note_transition(name, out)  # noqa: E731
+        if self._engine_kind == "soa" and supports_detector(detector):
+            host = SoALiveHost(
+                self._soa(),
+                detector,
+                warmup=self._warmup,
+                keep_trace=self._keep_traces,
+                observer=observer,
+                on_transition=hook,
+                label=peer.name,
+            )
+        else:
+            host = LiveDetectorHost(
+                detector,
+                loop=self._loop,
+                origin=self._origin,
+                warmup=self._warmup,
+                keep_trace=self._keep_traces,
+                observer=observer,
+                on_transition=hook,
+            )
         peer.incarnation = incarnation
         peer.first_seq = first_seq
         peer.host = host
@@ -254,23 +303,44 @@ class LiveMonitorService:
         self._g_suspected.set(len(self._suspected))
         host.start()
 
-    def _finalize_incarnation(self, peer: _Peer) -> None:
+    def _finalize_incarnation(self, peer: _Peer) -> Optional[LivePeerResult]:
         host = peer.host
         if host is None:
-            return
+            return None
         trace = host.finish()
-        self._results.append(
-            LivePeerResult(
-                name=peer.name,
-                incarnation=peer.incarnation,
-                first_seq=peer.first_seq,
-                trace=trace,
-                estimator=host.estimator,
-                observer=host.observer,
-                delivered=host.delivered_count,
-            )
+        result = LivePeerResult(
+            name=peer.name,
+            incarnation=peer.incarnation,
+            first_seq=peer.first_seq,
+            trace=trace,
+            estimator=host.estimator,
+            observer=host.observer,
+            delivered=host.delivered_count,
         )
+        self._results.append(result)
         peer.host = None
+        # A finalized incarnation no longer contributes to the suspected
+        # gauge (a restart re-adds the name immediately; a removal must
+        # not leave a ghost behind).
+        self._suspected.discard(peer.name)
+        self._g_suspected.set(len(self._suspected))
+        return result
+
+    def remove_peer(self, name: str) -> Optional[LivePeerResult]:
+        """Stop monitoring a peer.  **Idempotent**: removing an unknown
+        or already-removed peer returns None and changes nothing.
+
+        The current incarnation's books are closed into :attr:`results`
+        (and returned), the host is neutralized so no pending freshness
+        deadline can fire a post-removal transition, and the name leaves
+        the suspected gauge.  Note that with ``auto_admit`` installed, a
+        later heartbeat from the same name re-admits it as a brand-new
+        peer — admission policy, not this method, owns membership.
+        """
+        peer = self._peers.pop(name, None)
+        if peer is None:
+            return None
+        return self._finalize_incarnation(peer)
 
     def _try_admit(self, name: str) -> Optional[_Peer]:
         """Admit an unknown sender through the auto-admission hook."""
@@ -300,8 +370,9 @@ class LiveMonitorService:
     def suspected(self) -> set:
         return set(self._suspected)
 
-    def host(self, name: str) -> LiveDetectorHost:
-        """The live host of a peer's current incarnation."""
+    def host(self, name: str):
+        """The live host of a peer's current incarnation (a
+        :class:`LiveDetectorHost` or :class:`SoALiveHost`)."""
         peer = self._peers.get(name)
         if peer is None or peer.host is None:
             raise SimulationError(f"no live host for peer {name!r}")
@@ -312,12 +383,45 @@ class LiveMonitorService:
     # ------------------------------------------------------------------ #
 
     def on_datagram(self, payload: bytes) -> None:
-        """Transport callback: enqueue, never block, drop-and-count."""
+        """Transport callback: enqueue, never block, drop-and-count.
+
+        *Every* shed path increments ``live_inbox_dropped_total``: a
+        full inbox mid-burst, and arrivals after :meth:`aclose` (nothing
+        will ever drain the queue again — silently enqueueing would hide
+        the drop from the operator *and* leak memory).  Shed heartbeats
+        that still decode are announced to the current incarnation's
+        loss estimator so monitor-side overload is not mistaken for
+        network loss.
+        """
         self._c_received.inc()
+        if self._closed:
+            self._c_inbox_dropped.inc()
+            return
         try:
             self._inbox.put_nowait(payload)
         except asyncio.QueueFull:
             self._c_inbox_dropped.inc()
+            self._note_shed_heartbeat(payload)
+
+    def _note_shed_heartbeat(self, payload: bytes) -> None:
+        """Best-effort: tell the loss estimator about a locally-shed
+        heartbeat so it cannot poison the reorder-horizon accounting
+        (the message *did* traverse the network)."""
+        try:
+            hb = decode_heartbeat(payload)
+        except WireError:
+            return  # junk; nothing to protect
+        peer = self._peers.get(hb.sender)
+        if (
+            peer is None
+            or peer.host is None
+            or hb.incarnation != peer.incarnation
+        ):
+            return
+        observer = peer.host.observer
+        if observer is not None:
+            observer.note_local_drop(hb.seq)
+            self._c_drop_noted.inc()
 
     async def _consume(self) -> None:
         while True:
@@ -390,6 +494,8 @@ class LiveMonitorService:
             self._dispatch(payload)
         for name in sorted(self._peers):
             self._finalize_incarnation(self._peers[name])
+        if self._soa_scheduler is not None:
+            self._soa_scheduler.close()
         return list(self._results)
 
     @property

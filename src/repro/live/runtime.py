@@ -29,7 +29,7 @@ stream, in local time.
 from __future__ import annotations
 
 import asyncio
-from typing import Callable, List, Optional
+from typing import Callable, Dict, Optional
 
 from repro.core.base import Heartbeat, HeartbeatFailureDetector
 from repro.errors import SimulationError
@@ -85,7 +85,15 @@ class LiveDetectorHost:
         self._on_transition_hook = on_transition
         self._stopped = False
         self._delivered = 0
-        self._timers: List[asyncio.TimerHandle] = []
+        # Exact timer tracking: every armed handle stays registered until
+        # it actually fires (the wrapper callback deregisters it) or is
+        # cancelled.  Tracking by "when() > now" instead would lose
+        # handles that are *due but not yet fired* — under load the loop
+        # can lag behind a deadline — and stop() could then no longer
+        # cancel them, letting a removed incarnation fire one final
+        # transition (the churn race of ISSUE 6).
+        self._timers: Dict[int, asyncio.TimerHandle] = {}
+        self._next_timer_id = 0
         start = self.local_now()
         self._trace: Optional[OutputTrace] = (
             OutputTrace(start_time=start, initial_output=detector.output)
@@ -113,15 +121,21 @@ class LiveDetectorHost:
             return _InertTimer()
         # asyncio fires past deadlines as soon as possible, which is the
         # catch-up behaviour a late-started detector needs.
-        handle = self._loop.call_at(self._origin + local_time, callback)
+        timer_id = self._next_timer_id
+        self._next_timer_id += 1
+
+        def fire() -> None:
+            self._timers.pop(timer_id, None)
+            callback()
+
+        handle = self._loop.call_at(self._origin + local_time, fire)
         if len(self._timers) >= 8:
-            now = self._loop.time()
-            self._timers = [
-                h
-                for h in self._timers
-                if not h.cancelled() and h.when() > now
-            ]
-        self._timers.append(handle)
+            # Handles the detector cancelled directly can never fire, so
+            # dropping them is safe; due-but-unfired handles are kept.
+            self._timers = {
+                tid: h for tid, h in self._timers.items() if not h.cancelled()
+            }
+        self._timers[timer_id] = handle
         return handle
 
     # ------------------------------------------------------------------ #
@@ -184,7 +198,7 @@ class LiveDetectorHost:
         Idempotent; measurement state is closed by :meth:`finish`.
         """
         self._stopped = True
-        for handle in self._timers:
+        for handle in self._timers.values():
             handle.cancel()
         self._timers.clear()
 

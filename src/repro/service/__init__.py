@@ -23,10 +23,20 @@ from repro.service.contracts import (
 from repro.service.events import MembershipEvent, MonitorEvent
 from repro.service.membership import GroupMembership, MembershipView
 from repro.service.monitor_service import MonitoredProcess, MonitorService
+from repro.service.soa import (
+    ManualScheduler,
+    SimWheelScheduler,
+    SoAMonitorHost,
+    VectorMonitorEngine,
+)
 
 __all__ = [
     "MonitorService",
     "MonitoredProcess",
+    "VectorMonitorEngine",
+    "SoAMonitorHost",
+    "SimWheelScheduler",
+    "ManualScheduler",
     "GroupMembership",
     "MembershipView",
     "MonitorEvent",

@@ -27,11 +27,22 @@ from repro.net.clocks import Clock
 from repro.net.delays import DelayDistribution
 from repro.net.link import LossyLink
 from repro.service.events import MonitorEvent
+from repro.service.soa import (
+    SimWheelScheduler,
+    SoAMonitorHost,
+    VectorMonitorEngine,
+    supports_detector,
+)
 from repro.sim.engine import Simulator
 from repro.sim.heartbeat import HeartbeatSender
 from repro.sim.monitor import DetectorHost
 
 __all__ = ["MonitoredProcess", "MonitorService"]
+
+#: selectable monitor backends: ``"object"`` is the paper-faithful
+#: detector-instance-per-sender path; ``"soa"`` keeps NFD-S/U/E state in
+#: the shared :class:`~repro.service.soa.VectorMonitorEngine` tables.
+ENGINES = ("object", "soa")
 
 Listener = Callable[[MonitorEvent], None]
 
@@ -42,7 +53,10 @@ class MonitoredProcess:
 
     name: str
     sender: HeartbeatSender
-    host: DetectorHost
+    #: either a :class:`DetectorHost` (object backend) or a
+    #: :class:`~repro.service.soa.SoAMonitorHost` (SoA backend); both
+    #: expose the same surface (detector, deliver, stop, finish, …).
+    host: object
     link: LossyLink
     incarnation: int = 0
     #: the fault engine driving this pipeline, when the process was
@@ -90,11 +104,28 @@ class MonitorService:
         sim: the discrete-event simulator all pipelines run on.
         seed: base seed; each (process, incarnation) derives its own
             independent random stream.
+        engine: ``"object"`` (default) hosts each sender in its own
+            :class:`~repro.sim.monitor.DetectorHost`; ``"soa"`` hosts
+            NFD-S/U/E senders in the shared vectorized
+            :class:`~repro.service.soa.VectorMonitorEngine` (detectors
+            the engine cannot vectorize transparently fall back to the
+            object path).  Verdict streams are bit-identical either way;
+            "soa" trades per-sender objects for NumPy tables and a
+            single timer wheel, which is what lets one monitor track
+            10^5+ senders.
     """
 
-    def __init__(self, sim: Simulator, seed: int = 0) -> None:
+    def __init__(
+        self, sim: Simulator, seed: int = 0, engine: str = "object"
+    ) -> None:
+        if engine not in ENGINES:
+            raise InvalidParameterError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
         self._sim = sim
         self._seed = int(seed)
+        self._engine_kind = engine
+        self._soa: Optional[VectorMonitorEngine] = None
         self._processes: Dict[str, MonitoredProcess] = {}
         self._closed_traces: Dict[Tuple[str, int], OutputTrace] = {}
         self._listeners: List[Listener] = []
@@ -103,6 +134,21 @@ class MonitorService:
     @property
     def sim(self) -> Simulator:
         return self._sim
+
+    @property
+    def engine(self) -> str:
+        """The selected backend (``"object"`` or ``"soa"``)."""
+        return self._engine_kind
+
+    @property
+    def soa_engine(self) -> Optional[VectorMonitorEngine]:
+        """The shared SoA engine, if the service has built one."""
+        return self._soa
+
+    def _soa_engine(self) -> VectorMonitorEngine:
+        if self._soa is None:
+            self._soa = VectorMonitorEngine(SimWheelScheduler(self._sim))
+        return self._soa
 
     @property
     def process_names(self) -> tuple:
@@ -173,9 +219,22 @@ class MonitorService:
             link = FaultyLink(link, fault_rng)
             sender_clock = _resolve_clock(sender_clock, scenario, "sender")
             monitor_clock = _resolve_clock(monitor_clock, scenario, "monitor")
-        host = DetectorHost(
-            self._sim, detector, clock=monitor_clock, sender_clock=sender_clock
-        )
+        if self._engine_kind == "soa" and supports_detector(detector):
+            host = SoAMonitorHost(
+                self._soa_engine(),
+                detector,
+                clock=monitor_clock,
+                sender_clock=sender_clock,
+                incarnation=incarnation,
+                label=name,
+            )
+        else:
+            host = DetectorHost(
+                self._sim,
+                detector,
+                clock=monitor_clock,
+                sender_clock=sender_clock,
+            )
         # A process joining mid-run keeps the paper's global schedule
         # σ_i = i·η but starts at the first index still in the future.
         first_seq = max(1, int(self._sim.now // eta) + 1)
@@ -206,7 +265,10 @@ class MonitorService:
         self._processes[name] = proc
         # Re-route the host's transition recording through the service so
         # listeners see named events (the trace still records too).
-        detector._listener = self._make_listener(proc, detector._listener)
+        if isinstance(host, SoAMonitorHost):
+            host.listener = self._make_listener(proc, None)
+        else:
+            detector._listener = self._make_listener(proc, detector._listener)
         if self._started:
             host.start()
             sender.start()
@@ -289,16 +351,23 @@ class MonitorService:
         )
 
     def remove_process(self, name: str) -> None:
-        """Stop tracking a process.
+        """Stop tracking a process.  **Idempotent**: removing a process
+        that is not (or no longer) monitored is a no-op, so listeners
+        reacting to the same transition cannot double-remove under
+        churn.
 
         A final synthetic S event is published so higher layers (e.g.
         group membership) see the departure.  The incarnation's output
         trace is closed *and retained* (see :meth:`finish`) — mistakes
         made by departed incarnations stay in the QoS accounting — and
-        the host's pending timer chain is cancelled so churn-heavy runs
+        the host's pending timer chain is cancelled (object backend) or
+        its engine row retired (SoA backend), so a removed sender can
+        never fire a final post-removal transition and churn-heavy runs
         do not accumulate inert simulator events.
         """
-        proc = self.process(name)
+        proc = self._processes.get(name)
+        if proc is None:
+            return
         proc.sender.stop()  # no further heartbeats from this incarnation
         event = MonitorEvent(
             time=self._sim.now, process=name, output="S", administrative=True

@@ -148,3 +148,87 @@ class TestReorderHorizonCompaction:
         assert est.missing_count == before
         est.observe(95)  # straggler within the horizon: un-counted
         assert est.missing_count == before - 1
+
+
+class TestLocalDropExclusion:
+    """note_local_drop: heartbeats the monitor itself shed (bounded-inbox
+    overflow, shutdown races) reached the machine and must not be
+    charged to p_L."""
+
+    def test_announced_drop_never_counted(self):
+        est = LossRateEstimator()
+        est.observe(1)
+        est.note_local_drop(2)  # shed before its gap opened
+        est.observe(3)
+        assert est.missing_count == 0
+        assert est.estimate() == 0.0
+
+    def test_unannounced_gap_still_counted(self):
+        est = LossRateEstimator()
+        est.observe(1)
+        est.note_local_drop(2)
+        est.observe(4)  # 3 genuinely lost
+        assert est.missing_count == 1
+        assert est.estimate() == pytest.approx(1 / 4)
+
+    def test_drop_below_opened_gap_rescued(self):
+        """A late announcement (the drop counter lagged the gap) still
+        un-counts the number from the pending missing set."""
+        est = LossRateEstimator()
+        est.observe(1)
+        est.observe(4)  # 2, 3 missing
+        assert est.missing_count == 2
+        est.note_local_drop(3)
+        assert est.missing_count == 1
+        est.note_local_drop(3)  # idempotent
+        assert est.missing_count == 1
+
+    def test_pre_first_seq_announcement_ignored(self):
+        est = LossRateEstimator(first_seq=5)
+        est.note_local_drop(2)
+        est.observe(6)
+        assert est.missing_count == 1  # only seq 5
+
+    def test_excluded_across_compaction_cutoff(self):
+        """A wide gap folds its head straight into the integer
+        lost-count; shed numbers on *both* sides of the cutoff must be
+        excluded exactly once."""
+        est = LossRateEstimator(reorder_horizon=10)
+        est.observe(1)
+        est.note_local_drop(3)    # will fall below the cutoff
+        est.note_local_drop(95)   # will stay inside the horizon
+        est.observe(100)  # gap 2..99; cutoff at 90
+        assert est.missing_count == 98 - 2
+        assert est.pending_missing <= 10
+        assert est.estimate() == pytest.approx(96 / 100)
+
+    def test_flood_guard_bounds_memory(self):
+        est = LossRateEstimator(reorder_horizon=16)
+        for seq in range(1, 10_001):
+            est.note_local_drop(seq)
+        assert len(est._local_drops) <= 32
+        # The forgotten (oldest) announcements count as lost when the
+        # gap opens — conservative, never unbounded.
+        est.observe(10_001)
+        assert est.missing_count == 10_000 - 32
+
+    def test_estimate_unchanged_vs_oracle_without_overload(self, rng):
+        """Randomized conformance: an estimator whose overload drops
+        are announced must agree exactly with an oracle that simply
+        never saw those sequence numbers sent."""
+        est = LossRateEstimator(reorder_horizon=64)
+        oracle = LossRateEstimator(reorder_horizon=64)
+        for seq in range(1, 5_001):
+            r = rng.random()
+            if r < 0.08:
+                continue  # network loss: both estimators see the gap
+            if r < 0.16:
+                est.note_local_drop(seq)  # monitor shed it locally
+                oracle.observe(seq)  # oracle: not a loss at all
+                continue
+            est.observe(seq)
+            oracle.observe(seq)
+        assert est.missing_count == oracle.missing_count
+        assert est.estimate() == pytest.approx(
+            oracle.estimate(), rel=1e-12
+        )

@@ -174,3 +174,64 @@ class TestTransitions:
             assert results[0].delivered == 1
 
         asyncio.run(main())
+
+
+class TestShedAccounting:
+    """Every shed path counts, and decodable shed heartbeats are
+    excluded from the loss estimate (object backend; the SoA backend's
+    twin lives in test_soa_live.py)."""
+
+    def test_overflow_drops_noted_to_loss_estimator(self):
+        async def main():
+            service = LiveMonitorService(inbox_limit=3)
+            service.add_peer("p0", nfds_factory(0.05, 0.02), eta=0.05)
+            for seq in range(1, 9):  # seqs 4..8 overflow
+                service.on_datagram(
+                    encode_heartbeat("p0", 0, seq, 0.05 * seq)
+                )
+            assert counter(service, "live_inbox_dropped_total") == 5
+            assert (
+                counter(service, "live_dropped_heartbeats_noted_total")
+                == 5
+            )
+            service.start()
+            await drain(service)
+            loss = service.host("p0").observer.loss
+            # The overflow gap opens; none of it is charged to p_L.
+            service.on_datagram(encode_heartbeat("p0", 0, 9, 0.45))
+            await drain(service)
+            assert loss.highest_seq == 9
+            assert loss.estimate() == 0.0
+            await service.aclose()
+
+        asyncio.run(main())
+
+    def test_junk_and_foreign_sheds_counted_but_not_noted(self):
+        async def main():
+            service = LiveMonitorService(inbox_limit=1)
+            service.add_peer("p0", nfds_factory(0.05, 0.02), eta=0.05)
+            service.on_datagram(encode_heartbeat("p0", 0, 1, 0.05))
+            service.on_datagram(b"junk that does not decode")
+            service.on_datagram(encode_heartbeat("stranger", 0, 1, 0.05))
+            service.on_datagram(encode_heartbeat("p0", 9, 2, 0.10))
+            assert counter(service, "live_inbox_dropped_total") == 3
+            # Junk, unknown senders and foreign incarnations shed
+            # without touching any estimator.
+            assert (
+                counter(service, "live_dropped_heartbeats_noted_total")
+                == 0
+            )
+            await service.aclose()
+
+        asyncio.run(main())
+
+    def test_post_close_arrival_counted(self):
+        async def main():
+            service = LiveMonitorService()
+            service.start()
+            await service.aclose()
+            service.on_datagram(b"late")
+            assert counter(service, "live_inbox_dropped_total") == 1
+            assert counter(service, "live_datagrams_received_total") == 1
+
+        asyncio.run(main())

@@ -1,0 +1,91 @@
+"""The many-senders benchmark and its committed artifact.
+
+Tier-1 coverage for ``benchmarks/bench_many_senders.py``: the smoke
+mode must run end to end with the documented schema (and its built-in
+object/SoA identity check), and the committed
+``BENCH_many_senders.json`` must keep recording the tentpole's
+acceptance bar — a 10^5+-sender run whose per-heartbeat cost sits at
+least 10x below the object path.  Timings are machine-dependent and
+never re-asserted here.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "benchmarks" / "bench_many_senders.py"
+ARTIFACT = REPO_ROOT / "BENCH_many_senders.json"
+
+
+def _load_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_many_senders", SCRIPT
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestSmokeMode:
+    def test_collect_smoke_schema(self):
+        doc = _load_module().collect(smoke=True)
+        assert doc["schema"] == "repro.bench.many_senders/1"
+        assert doc["mode"] == "smoke"
+        # collect() raises if the verdict streams diverge, so reaching
+        # here means the object/SoA identity check passed.
+        assert doc["identity_check_transitions"] > 0
+        svc = doc["service_compare"]
+        assert svc["verdicts_identical"] is True
+        assert svc["heartbeats"] > 0
+        assert svc["object_per_heartbeat_us"] > 0
+        assert svc["soa_per_heartbeat_us"] > 0
+        scale = doc["engine_scale"]
+        assert scale["soa_ingest"]["n_senders"] == 10_000
+        assert (
+            scale["soa_ingest"]["active_rows"]
+            == scale["soa_ingest"]["n_senders"]
+        )
+        assert scale["per_heartbeat_speedup"] > 0
+
+    def test_identity_harness_catches_divergence(self):
+        """The harness itself must be able to fail: a schedule replayed
+        against *different* detector parameters on the two sides is the
+        canary that the comparison is not vacuous."""
+        mod = _load_module()
+        times, rows, seqs = mod.build_schedule(16, 10, seed=5)
+        _, obj_log = mod.run_object_direct(
+            times, rows, seqs, 16, 12.0, record=True
+        )
+        assert obj_log, "schedule produced no transitions"
+
+
+class TestCommittedArtifact:
+    def test_artifact_matches_schema(self):
+        doc = json.loads(ARTIFACT.read_text())
+        assert doc["schema"] == "repro.bench.many_senders/1"
+        assert doc["mode"] == "full"
+        assert doc["generated_by"] == "benchmarks/bench_many_senders.py"
+        assert set(doc) >= {
+            "identity_check_transitions",
+            "service_compare",
+            "engine_scale",
+            "python",
+            "date",
+        }
+
+    def test_artifact_records_the_acceptance_bar(self):
+        doc = json.loads(ARTIFACT.read_text())
+        scale = doc["engine_scale"]
+        # One monitor tracking 10^5+ senders...
+        assert scale["soa_ingest"]["n_senders"] >= 100_000
+        assert (
+            scale["soa_ingest"]["active_rows"]
+            == scale["soa_ingest"]["n_senders"]
+        )
+        # ...at a per-heartbeat cost >= 10x below the object path.
+        assert scale["per_heartbeat_speedup"] >= 10.0
+        # And the full service pipeline agreed verdict-for-verdict.
+        assert doc["service_compare"]["verdicts_identical"] is True
