@@ -89,11 +89,24 @@ class HeartbeatObserver:
 
     def observe(self, heartbeat: Heartbeat) -> None:
         """Consume one received heartbeat."""
-        self._loss.observe(heartbeat.seq)
-        self._stats.observe(
-            heartbeat.receive_local_time - heartbeat.send_local_time
+        self.observe_arrival(
+            heartbeat.seq,
+            heartbeat.send_local_time,
+            heartbeat.receive_local_time,
         )
-        self._arrival.observe(heartbeat.seq, heartbeat.receive_local_time)
+
+    def observe_arrival(
+        self, seq: int, send_local_time: float, receive_local_time: float
+    ) -> None:
+        """Consume one received heartbeat given as plain fields.
+
+        Identical float-op order to :meth:`observe`; the live monitor's
+        batched drain calls this form so the hot path never constructs
+        a :class:`Heartbeat` per message.
+        """
+        self._loss.observe(seq)
+        self._stats.observe(receive_local_time - send_local_time)
+        self._arrival.observe(seq, receive_local_time)
 
     def note_local_drop(self, seq: int) -> None:
         """Tell the loss estimator heartbeat ``seq`` was shed *by the

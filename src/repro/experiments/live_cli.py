@@ -31,8 +31,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="role", required=True)
 
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--uvloop",
+        action="store_true",
+        help=(
+            "run on uvloop (optional dependency); fails loudly if the "
+            "package is not installed"
+        ),
+    )
+
     soak = sub.add_parser(
         "soak",
+        parents=[common],
         help="loopback soak gated against the Theorem 5 closed forms",
     )
     soak.add_argument("--peers", type=int, default=4)
@@ -64,8 +75,30 @@ def _build_parser() -> argparse.ArgumentParser:
             "Prometheus exposition goes alongside with a .prom suffix"
         ),
     )
+    soak.add_argument(
+        "--engine",
+        choices=["object", "soa"],
+        default="object",
+        help="detector backend: per-peer hosts or the shared SoA engine",
+    )
+    soak.add_argument(
+        "--drain-batch",
+        type=int,
+        default=256,
+        help="datagrams drained per consumer wakeup (1 = per-datagram)",
+    )
+    soak.add_argument(
+        "--fanout",
+        action="store_true",
+        help=(
+            "pace all senders off one HeartbeatFanout timer instead of "
+            "one asyncio task per sender"
+        ),
+    )
 
-    send = sub.add_parser("send", help="UDP heartbeat sender (process p)")
+    send = sub.add_parser(
+        "send", parents=[common], help="UDP heartbeat sender (process p)"
+    )
     send.add_argument("--name", required=True, help="this process's name")
     send.add_argument("--host", default="127.0.0.1")
     send.add_argument("--port", type=int, required=True)
@@ -79,7 +112,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     mon = sub.add_parser(
-        "monitor", help="UDP heartbeat monitor (process q)"
+        "monitor",
+        parents=[common],
+        help="UDP heartbeat monitor (process q)",
     )
     mon.add_argument("--host", default="0.0.0.0")
     mon.add_argument("--port", type=int, required=True)
@@ -96,6 +131,26 @@ def _build_parser() -> argparse.ArgumentParser:
     mon.add_argument("--duration", type=float, default=None)
     mon.add_argument("--report-every", type=float, default=2.0)
     mon.add_argument("--telemetry-out", type=Path, default=None)
+    mon.add_argument(
+        "--engine",
+        choices=["object", "soa"],
+        default="object",
+        help="detector backend: per-peer hosts or the shared SoA engine",
+    )
+    mon.add_argument(
+        "--drain-batch",
+        type=int,
+        default=256,
+        help="datagrams drained per consumer wakeup (1 = per-datagram)",
+    )
+    mon.add_argument(
+        "--no-batched-socket",
+        action="store_true",
+        help=(
+            "use the per-datagram asyncio endpoint instead of the "
+            "recv_into socket drain"
+        ),
+    )
     return parser
 
 
@@ -121,6 +176,9 @@ def _run_soak(args) -> int:
         kill=args.kill,
         kill_after=args.kill_after,
         seed=args.seed,
+        engine=args.engine,
+        drain_batch=args.drain_batch,
+        fanout=args.fanout,
     )
     result = run_soak(config)
     report = result.report()
@@ -171,6 +229,9 @@ def _run_monitor(args) -> int:
                 duration=args.duration,
                 report_every=args.report_every,
                 registry=registry,
+                engine=args.engine,
+                drain_batch=args.drain_batch,
+                batched_socket=not args.no_batched_socket,
             )
         )
     except KeyboardInterrupt:
@@ -182,6 +243,16 @@ def _run_monitor(args) -> int:
 
 def live_main(argv: Optional[list] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.uvloop:
+        from repro.live.loops import install_uvloop
+
+        if not install_uvloop():
+            print(
+                "error: --uvloop requested but the uvloop package is "
+                "not installed (pip install uvloop)",
+                file=sys.stderr,
+            )
+            return 2
     if args.role == "soak":
         return _run_soak(args)
     if args.role == "send":

@@ -15,6 +15,7 @@ Layers:
   loopback transport driven by the simulation's link models;
 * :mod:`repro.live.runtime` — hosting a detector on the loop clock;
 * :mod:`repro.live.sender` — η-paced heartbeat sending;
+* :mod:`repro.live.fanout` — many sender streams off one armed timer;
 * :mod:`repro.live.monitor` — the monitoring service (bounded inbox,
   incarnation dispatch, supervised consumer);
 * :mod:`repro.live.supervisor` — crash/restart task supervision;
@@ -22,6 +23,7 @@ Layers:
 * :mod:`repro.live.roles` — two-terminal UDP sender/monitor roles.
 """
 
+from repro.live.fanout import FanoutStream, HeartbeatFanout
 from repro.live.monitor import LiveMonitorService, LivePeerResult
 from repro.live.runtime import LiveDetectorHost
 from repro.live.sender import LiveHeartbeatSender
@@ -29,6 +31,7 @@ from repro.live.soa import LoopWheelScheduler, SoALiveHost
 from repro.live.soak import KillReport, SoakConfig, SoakGate, SoakResult, run_soak
 from repro.live.supervisor import TaskCrash, TaskSupervisor
 from repro.live.transport import (
+    BatchedUdpMonitorTransport,
     LoopbackNetwork,
     MonitorTransport,
     SenderTransport,
@@ -36,6 +39,8 @@ from repro.live.transport import (
     UdpSenderTransport,
 )
 from repro.live.wire import (
+    HeartbeatBatchDecoder,
+    HeartbeatEncoder,
     LiveHeartbeat,
     WireError,
     decode_heartbeat,
@@ -47,6 +52,8 @@ __all__ = [
     "LivePeerResult",
     "LiveDetectorHost",
     "LiveHeartbeatSender",
+    "FanoutStream",
+    "HeartbeatFanout",
     "SoALiveHost",
     "LoopWheelScheduler",
     "SoakConfig",
@@ -56,6 +63,7 @@ __all__ = [
     "run_soak",
     "TaskCrash",
     "TaskSupervisor",
+    "BatchedUdpMonitorTransport",
     "LoopbackNetwork",
     "MonitorTransport",
     "SenderTransport",
@@ -63,6 +71,8 @@ __all__ = [
     "UdpSenderTransport",
     "LiveHeartbeat",
     "WireError",
+    "HeartbeatEncoder",
+    "HeartbeatBatchDecoder",
     "encode_heartbeat",
     "decode_heartbeat",
 ]

@@ -1,0 +1,316 @@
+"""Single-timer heartbeat fan-out: N sender streams, one armed wakeup.
+
+:class:`~repro.live.sender.LiveHeartbeatSender` is one asyncio task per
+sender — the right shape for a real process sending its own heartbeats,
+and the wrong shape for a benchmark or soak driving *thousands* of
+in-process streams: each task costs a coroutine frame, a timer heap
+entry per period, and a scheduler pass per heartbeat.
+
+:class:`HeartbeatFanout` paces any number of streams off **one** armed
+``loop.call_at`` — the same lazy-wheel idea as
+:class:`~repro.service.soa.VectorMonitorEngine`'s deadline wheel, applied
+to the sending side.  Streams sharing an η join a *cohort* on the shared
+``σ_i = i·η`` grid: one heap entry per cohort tick sends every member's
+heartbeat for that slot, so the wakeup count is O(ticks), not
+O(streams × ticks).
+
+Pacing semantics are exactly the task sender's, per stream:
+
+* messages carry the *nominal* ``σ_i = i·η``, never the actual departure
+  time;
+* slots already in the past are skipped, never burst — after a stall the
+  stream resumes at its first future slot (the armed slot itself is sent
+  even when the wakeup fires late, matching a sleeping task that wakes
+  past its deadline);
+* a stopped stream stops immediately; in-flight datagrams survive
+  (Section 3.1 crash semantics), and dead streams are lazily compacted
+  out of their cohort at the next tick.
+
+Per-stream payloads come from a cached
+:class:`~repro.live.wire.HeartbeatEncoder`, so the per-heartbeat send
+cost is one 16-byte pack plus the payload snapshot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InvalidParameterError, SimulationError
+from repro.live.transport import SenderTransport
+from repro.live.wire import HeartbeatEncoder
+
+__all__ = ["FanoutStream", "HeartbeatFanout"]
+
+
+class FanoutStream:
+    """One paced heartbeat stream inside a :class:`HeartbeatFanout`.
+
+    Exposes the surface a soak/benchmark driver needs from
+    :class:`~repro.live.sender.LiveHeartbeatSender` — ``name``,
+    ``sent_count``, ``next_seq``, ``stop()``, ``stopped`` — so the two
+    pacing backends are drop-in interchangeable for drivers.
+    """
+
+    __slots__ = (
+        "name",
+        "eta",
+        "incarnation",
+        "_transport",
+        "_encoder",
+        "_next_seq",
+        "_sent",
+        "_stopped",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        transport: SenderTransport,
+        eta: float,
+        incarnation: int,
+        next_seq: int,
+    ) -> None:
+        self.name = name
+        self.eta = eta
+        self.incarnation = incarnation
+        self._transport = transport
+        self._encoder = HeartbeatEncoder(name, incarnation)
+        self._next_seq = next_seq
+        self._sent = 0
+        self._stopped = False
+
+    @property
+    def sent_count(self) -> int:
+        return self._sent
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def stop(self) -> None:
+        """Stop sending immediately (crash injection / shutdown).
+
+        Idempotent.  Datagrams already handed to the transport still
+        arrive; the stream is compacted out of its cohort lazily.
+        """
+        self._stopped = True
+
+
+class _SendCohort:
+    """All fan-out streams sharing one η grid."""
+
+    __slots__ = ("eta", "index", "members", "tick", "armed")
+
+    def __init__(self, eta: float, index: int) -> None:
+        self.eta = eta
+        self.index = index
+        self.members: List[FanoutStream] = []
+        self.tick = 0  # slot index of the currently-armed heap entry
+        self.armed = False
+
+
+class HeartbeatFanout:
+    """Paces many heartbeat streams off a single armed loop timer.
+
+    Args:
+        loop: the event loop (defaults to the running loop).
+        origin: loop time at which local time reads zero (share it with
+            the monitor for the synchronized-clock regime; defaults to
+            *now*).
+    """
+
+    def __init__(
+        self,
+        *,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        origin: Optional[float] = None,
+    ) -> None:
+        self._loop = (
+            loop if loop is not None else asyncio.get_running_loop()
+        )
+        self._origin = (
+            self._loop.time() if origin is None else float(origin)
+        )
+        self._streams: Dict[str, FanoutStream] = {}
+        self._cohorts: Dict[float, _SendCohort] = {}
+        self._cohort_list: List[_SendCohort] = []
+        #: (real_time, tick, cohort_index) — one live entry per cohort
+        self._heap: List[Tuple[float, int, int]] = []
+        self._handle: Optional[asyncio.TimerHandle] = None
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def origin(self) -> float:
+        return self._origin
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def stream_names(self) -> List[str]:
+        return sorted(self._streams)
+
+    def stream(self, name: str) -> FanoutStream:
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise SimulationError(f"no fan-out stream {name!r}") from None
+
+    def local_now(self) -> float:
+        return self._loop.time() - self._origin
+
+    @property
+    def sent_total(self) -> int:
+        return sum(s._sent for s in self._streams.values())
+
+    # ------------------------------------------------------------------ #
+
+    def _first_slot(self, eta: float, first_seq: int) -> int:
+        """First sendable slot: skip slots already in the past (the task
+        sender's rule — ``σ < now`` is skipped, ``σ >= now`` is armed),
+        never before ``first_seq``."""
+        now_local = self.local_now()
+        j = max(1, int(math.ceil(now_local / eta)))
+        while j * eta < now_local:
+            j += 1
+        while j > 1 and (j - 1) * eta >= now_local:
+            j -= 1
+        return max(first_seq, j)
+
+    def add_stream(
+        self,
+        name: str,
+        transport: SenderTransport,
+        *,
+        eta: float,
+        incarnation: int = 0,
+        first_seq: int = 1,
+    ) -> FanoutStream:
+        """Register a stream; it starts pacing at its first future slot."""
+        if self._closed:
+            raise SimulationError("fan-out already closed")
+        if name in self._streams:
+            raise InvalidParameterError(
+                f"stream {name!r} already registered"
+            )
+        if eta <= 0:
+            raise InvalidParameterError(f"eta must be positive, got {eta}")
+        if first_seq < 1:
+            raise InvalidParameterError(
+                f"first_seq must be >= 1, got {first_seq}"
+            )
+        eta = float(eta)
+        next_seq = self._first_slot(eta, int(first_seq))
+        stream = FanoutStream(
+            name, transport, eta, int(incarnation), next_seq
+        )
+        self._streams[name] = stream
+        cohort = self._cohorts.get(eta)
+        if cohort is None:
+            cohort = _SendCohort(eta, len(self._cohort_list))
+            self._cohorts[eta] = cohort
+            self._cohort_list.append(cohort)
+        cohort.members.append(stream)
+        if not cohort.armed or next_seq < cohort.tick:
+            cohort.tick = next_seq
+            cohort.armed = True
+            heapq.heappush(
+                self._heap,
+                (self._origin + next_seq * eta, next_seq, cohort.index),
+            )
+        if self._started:
+            self._arm()
+        return stream
+
+    def start(self) -> None:
+        """Arm the wheel; streams may be added before or after."""
+        if self._closed:
+            raise SimulationError("fan-out already closed")
+        self._started = True
+        self._arm()
+
+    def stop_all(self) -> None:
+        for stream in self._streams.values():
+            stream.stop()
+
+    async def aclose(self) -> None:
+        """Stop every stream and disarm the timer.  Idempotent."""
+        self._closed = True
+        self.stop_all()
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    # ------------------------------------------------------------------ #
+
+    def _arm(self) -> None:
+        if self._closed or not self._heap:
+            return
+        t = self._heap[0][0]
+        if self._handle is not None:
+            if self._handle.when() <= t:
+                return
+            self._handle.cancel()
+        self._handle = self._loop.call_at(t, self._on_wake)
+
+    def _on_wake(self) -> None:
+        self._handle = None
+        if self._closed:
+            return
+        heap = self._heap
+        now_real = self._loop.time()
+        while heap and heap[0][0] <= now_real:
+            _, tick, index = heapq.heappop(heap)
+            cohort = self._cohort_list[index]
+            if cohort.armed and tick == cohort.tick:
+                self._fire_cohort(cohort, tick)
+            now_real = self._loop.time()
+        self._arm()
+
+    def _fire_cohort(self, cohort: _SendCohort, tick: int) -> None:
+        eta = cohort.eta
+        sigma = tick * eta
+        now_local = self.local_now()
+        alive: List[FanoutStream] = []
+        for member in cohort.members:
+            if member._stopped:
+                continue  # lazy compaction
+            alive.append(member)
+            if member._next_seq <= tick:
+                member._transport.send(
+                    member._encoder.encode(tick, sigma)
+                )
+                member._sent += 1
+                # Advance to the next slot, skipping any now in the
+                # past — a late tick resumes at the first future slot,
+                # exactly like the task sender after a stall.
+                nxt = tick + 1
+                if nxt * eta < now_local:
+                    j = max(nxt, int(math.ceil(now_local / eta)))
+                    while j * eta < now_local:
+                        j += 1
+                    while j - 1 > tick and (j - 1) * eta >= now_local:
+                        j -= 1
+                    nxt = j
+                member._next_seq = nxt
+        cohort.members = alive
+        if not alive:
+            cohort.armed = False  # dormant until a new member joins
+            return
+        next_tick = min(m._next_seq for m in alive)
+        cohort.tick = next_tick
+        heapq.heappush(
+            self._heap,
+            (self._origin + next_tick * eta, next_tick, cohort.index),
+        )

@@ -1,0 +1,38 @@
+"""Optional event-loop acceleration (uvloop), gated behind import.
+
+uvloop is a drop-in libuv-based event loop that roughly halves the cost
+of timer and socket wakeups — worth having on a monitor tracking many
+senders, but strictly optional: the repo never depends on it, and every
+code path works on the stdlib loop.  The CLI exposes ``--uvloop``; when
+the package is absent the flag fails loudly (exit code, not a silent
+fallback), because a user asking for uvloop is usually benchmarking and
+a silent stdlib run would corrupt the comparison.
+"""
+
+from __future__ import annotations
+
+__all__ = ["uvloop_available", "install_uvloop"]
+
+
+def uvloop_available() -> bool:
+    """Whether the optional uvloop package can be imported."""
+    try:
+        import uvloop  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def install_uvloop() -> bool:
+    """Install uvloop as the event-loop policy for subsequent
+    ``asyncio.run`` calls.  Returns False (and changes nothing) when
+    uvloop is not installed — callers decide whether that is fatal.
+    """
+    try:
+        import uvloop
+    except ImportError:
+        return False
+    import asyncio
+
+    asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+    return True

@@ -169,17 +169,25 @@ class LiveDetectorHost:
 
     def deliver(self, heartbeat: LiveHeartbeat) -> None:
         """Feed one decoded heartbeat; receipt time is local *now*."""
+        self.deliver_parts(heartbeat.seq, heartbeat.send_local_time)
+
+    def deliver_parts(self, seq: int, send_local_time: float) -> None:
+        """Hot-path form of :meth:`deliver`: plain fields, no
+        :class:`LiveHeartbeat` wrapper (the batched drain decodes
+        straight to tuples)."""
         if self._stopped:
             return  # late arrival to a removed incarnation
         self._delivered += 1
-        hb = Heartbeat(
-            seq=heartbeat.seq,
-            send_local_time=heartbeat.send_local_time,
-            receive_local_time=self.local_now(),
-        )
+        recv = self.local_now()
         if self._observer is not None:
-            self._observer.observe(hb)
-        self._detector.on_heartbeat(hb)
+            self._observer.observe_arrival(seq, send_local_time, recv)
+        self._detector.on_heartbeat(
+            Heartbeat(
+                seq=seq,
+                send_local_time=send_local_time,
+                receive_local_time=recv,
+            )
+        )
 
     def _on_transition(self, local_time: float, output: str) -> None:
         if self._stopped:

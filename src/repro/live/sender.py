@@ -27,7 +27,7 @@ from typing import Callable, Optional
 
 from repro.errors import InvalidParameterError
 from repro.live.transport import SenderTransport
-from repro.live.wire import encode_heartbeat
+from repro.live.wire import HeartbeatEncoder
 
 __all__ = ["LiveHeartbeatSender"]
 
@@ -74,6 +74,9 @@ class LiveHeartbeatSender:
         self._loop = loop
         self._origin = float(origin)
         self._incarnation = int(incarnation)
+        # Constant header+name prefix packed once; per-send work is one
+        # (seq, σ) pack_into plus the immutable payload snapshot.
+        self._encoder = HeartbeatEncoder(name, int(incarnation))
         self._next_seq = int(first_seq)
         self._send_gate = send_gate
         self._sent = 0
@@ -145,12 +148,7 @@ class LiveHeartbeatSender:
             self._next_seq += 1
             self._sent += 1
             self._transport.send(
-                encode_heartbeat(
-                    self._name,
-                    self._incarnation,
-                    seq,
-                    self.send_local_time(seq),
-                )
+                self._encoder.encode(seq, self.send_local_time(seq))
             )
 
     async def _sleep_until(self, local_deadline: float) -> bool:

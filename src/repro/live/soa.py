@@ -20,7 +20,7 @@ from __future__ import annotations
 import asyncio
 from typing import Callable, Optional
 
-from repro.core.base import Heartbeat, HeartbeatFailureDetector
+from repro.core.base import HeartbeatFailureDetector
 from repro.errors import SimulationError
 from repro.estimation.observer import HeartbeatObserver
 from repro.live.wire import LiveHeartbeat
@@ -149,17 +149,44 @@ class SoALiveHost:
         first (an :class:`~repro.errors.EstimationError` for pre-window
         sequence numbers propagates before the detector state moves).
         """
+        self.deliver_parts(heartbeat.seq, heartbeat.send_local_time)
+
+    def deliver_parts(self, seq: int, send_local_time: float) -> None:
+        """Scalar delivery from plain fields (no wrapper dataclasses)."""
+        t = self.prepare(seq, send_local_time)
+        if t is not None:
+            self._engine.deliver(self._row, seq, send_local_time, at_real=t)
+
+    def prepare(
+        self,
+        seq: int,
+        send_local_time: float,
+        now: Optional[float] = None,
+    ) -> Optional[float]:
+        """Book-keep one receipt and return its engine receipt time —
+        without applying it to the engine.
+
+        The batched drain calls this per heartbeat, accumulates
+        ``(time, row, seq)`` triples, and applies the whole chunk with
+        one :meth:`VectorMonitorEngine.ingest`.  Everything the scalar
+        path does *outside* the engine happens here, in the same order:
+        delivered count, then observer (whose pre-window
+        :class:`~repro.errors.EstimationError` propagates before any
+        engine state moves).  Returns None for a stopped host (the late
+        arrival is swallowed exactly like :meth:`deliver`).
+
+        ``now`` lets the caller hoist the clock read: datagrams drained
+        together were all already queued when the consumer woke, so one
+        receipt timestamp per chunk is the honest reading — and saves a
+        clock call per heartbeat.
+        """
         if self._stopped:
-            return  # late arrival to a removed incarnation
+            return None  # late arrival to a removed incarnation
         self._delivered += 1
-        hb = Heartbeat(
-            seq=heartbeat.seq,
-            send_local_time=heartbeat.send_local_time,
-            receive_local_time=self._engine.now,
-        )
+        t = self._engine.now if now is None else now
         if self._observer is not None:
-            self._observer.observe(hb)
-        self._engine.deliver(self._row, hb.seq, hb.send_local_time)
+            self._observer.observe_arrival(seq, send_local_time, t)
+        return t
 
     def _on_engine_transition(
         self, real: float, local: float, output: str

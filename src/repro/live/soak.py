@@ -39,6 +39,7 @@ import numpy as np
 from repro.analysis.nfds_theory import NFDSAnalysis, QoSPrediction
 from repro.core.nfd_s import NFDS
 from repro.errors import InvalidParameterError
+from repro.live.fanout import HeartbeatFanout
 from repro.live.monitor import LiveMonitorService, LivePeerResult
 from repro.live.sender import LiveHeartbeatSender
 from repro.live.supervisor import TaskSupervisor
@@ -81,6 +82,13 @@ class SoakConfig:
     sched_allowance: float = 0.005
     #: extra detection time allowed over the δ+η bound (callback dispatch).
     detect_allowance: float = 0.25
+    #: detector backend: "object" (per-peer hosts) or "soa" (shared engine).
+    engine: str = "object"
+    #: datagrams drained per consumer wakeup (1 = per-datagram dispatch).
+    drain_batch: int = 256
+    #: pace all senders off one HeartbeatFanout timer instead of one
+    #: asyncio task per sender.
+    fanout: bool = False
 
     def __post_init__(self) -> None:
         if self.peers < 1:
@@ -99,6 +107,14 @@ class SoakConfig:
             )
         if self.eta <= 0 or self.delta < 0:
             raise InvalidParameterError("need eta > 0 and delta >= 0")
+        if self.engine not in ("object", "soa"):
+            raise InvalidParameterError(
+                f"unknown engine {self.engine!r}; expected 'object' or 'soa'"
+            )
+        if self.drain_batch < 1:
+            raise InvalidParameterError(
+                f"drain_batch must be >= 1, got {self.drain_batch}"
+            )
         kill_at = self.kill_time
         if self.kill and not (
             self.effective_warmup
@@ -328,24 +344,36 @@ async def soak(config: SoakConfig) -> SoakResult:
         inbox_limit=config.inbox_limit,
         warmup=config.effective_warmup,
         keep_traces=True,
+        engine=config.engine,
+        drain_batch=config.drain_batch,
     )
     network = LoopbackNetwork(loop)
     network.attach_monitor(service.on_datagram)
 
-    senders: List[LiveHeartbeatSender] = []
+    # Either pacing backend exposes the same surface per stream (name,
+    # sent_count, stop); the kill/teardown paths below are agnostic.
+    fanout = (
+        HeartbeatFanout(loop=loop, origin=origin) if config.fanout else None
+    )
+    senders: List = []
     for i in range(config.peers):
         name = f"p{i}"
         rng = derive_rng(config.seed, STREAM_LIVE, i)
         link = LossyLink(
             ExponentialDelay(config.mean_delay), config.loss, rng
         )
-        sender = LiveHeartbeatSender(
-            network.sender(link),
-            name=name,
-            eta=config.eta,
-            loop=loop,
-            origin=origin,
-        )
+        if fanout is not None:
+            sender = fanout.add_stream(
+                name, network.sender(link), eta=config.eta
+            )
+        else:
+            sender = LiveHeartbeatSender(
+                network.sender(link),
+                name=name,
+                eta=config.eta,
+                loop=loop,
+                origin=origin,
+            )
         senders.append(sender)
         service.add_peer(
             name,
@@ -357,8 +385,11 @@ async def soak(config: SoakConfig) -> SoakResult:
 
     supervisor = TaskSupervisor()
     service.start()
-    for sender in senders:
-        supervisor.spawn(f"sender:{sender.name}", sender.run)
+    if fanout is not None:
+        fanout.start()
+    else:
+        for sender in senders:
+            supervisor.spawn(f"sender:{sender.name}", sender.run)
 
     killed: Dict[str, float] = {}
     try:
@@ -374,6 +405,8 @@ async def soak(config: SoakConfig) -> SoakResult:
     finally:
         for sender in senders:
             sender.stop()
+        if fanout is not None:
+            await fanout.aclose()
         await supervisor.shutdown()
         await network.aclose()
         peer_results = await service.aclose()

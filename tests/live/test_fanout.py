@@ -1,0 +1,201 @@
+"""Tests for the single-timer sender fan-out (tier-1: sub-second)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import InvalidParameterError, SimulationError
+from repro.live.fanout import HeartbeatFanout
+from repro.live.sender import LiveHeartbeatSender
+from repro.live.wire import decode_heartbeat
+
+
+class RecordingTransport:
+    def __init__(self):
+        self.payloads = []
+
+    def send(self, payload):
+        self.payloads.append(payload)
+
+
+class TestPacing:
+    def test_grid_pacing_and_nominal_sigma(self):
+        """Every stream sends one heartbeat per η slot, stamped with the
+        nominal σ_i = i·η — the task sender's semantics, N streams off
+        one timer."""
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            fanout = HeartbeatFanout(loop=loop, origin=loop.time())
+            transports = {
+                name: RecordingTransport() for name in ("p0", "p1", "p2")
+            }
+            for name, transport in transports.items():
+                fanout.add_stream(name, transport, eta=0.04)
+            fanout.start()
+            await asyncio.sleep(0.30)
+            fanout.stop_all()
+            for name, transport in transports.items():
+                heartbeats = [
+                    decode_heartbeat(p) for p in transport.payloads
+                ]
+                assert 4 <= len(heartbeats) <= 8
+                for hb in heartbeats:
+                    assert hb.sender == name
+                    assert hb.incarnation == 0
+                    assert hb.send_local_time == pytest.approx(
+                        hb.seq * 0.04
+                    )
+                seqs = [hb.seq for hb in heartbeats]
+                assert seqs[0] == 1
+                assert seqs == sorted(set(seqs))
+            assert fanout.sent_total == sum(
+                len(t.payloads) for t in transports.values()
+            )
+            await fanout.aclose()
+
+        asyncio.run(main())
+
+    def test_late_join_skips_past_slots(self):
+        """A stream added when σ_1..σ_k are already in the past starts
+        at its first future slot — it never bursts the backlog."""
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            # Local time already reads ~0.2 when the stream joins.
+            fanout = HeartbeatFanout(loop=loop, origin=loop.time() - 0.2)
+            transport = RecordingTransport()
+            fanout.start()  # streams may join a started fan-out
+            stream = fanout.add_stream("late", transport, eta=0.04)
+            assert stream.next_seq >= 5
+            await asyncio.sleep(0.15)
+            stream.stop()
+            heartbeats = [decode_heartbeat(p) for p in transport.payloads]
+            assert heartbeats, "armed future slot must fire"
+            assert min(hb.seq for hb in heartbeats) >= 5
+            seqs = [hb.seq for hb in heartbeats]
+            assert seqs == sorted(set(seqs))
+            await fanout.aclose()
+
+        asyncio.run(main())
+
+    def test_matches_task_sender_schedule(self):
+        """Fan-out and task-sender pacing produce the same sequence
+        numbers over the same span: the two backends are drop-in
+        interchangeable for soak drivers."""
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            origin = loop.time()
+            fan_transport = RecordingTransport()
+            task_transport = RecordingTransport()
+            fanout = HeartbeatFanout(loop=loop, origin=origin)
+            fanout.add_stream("p", fan_transport, eta=0.05)
+            sender = LiveHeartbeatSender(
+                task_transport, name="p", eta=0.05, loop=loop, origin=origin
+            )
+            fanout.start()
+            task = asyncio.ensure_future(sender.run())
+            # Stop mid-slot (σ_5=0.25, σ_6=0.30): a 25 ms margin on both
+            # sides of the boundary dwarfs timer lateness.
+            await asyncio.sleep(0.275)
+            fanout.stop_all()
+            sender.stop()
+            await task
+            await fanout.aclose()
+            fan_seqs = [
+                decode_heartbeat(p).seq for p in fan_transport.payloads
+            ]
+            task_seqs = [
+                decode_heartbeat(p).seq for p in task_transport.payloads
+            ]
+            assert fan_seqs == task_seqs == [1, 2, 3, 4, 5]
+
+        asyncio.run(main())
+
+
+class TestLifecycle:
+    def test_stop_freezes_one_stream_others_continue(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            fanout = HeartbeatFanout(loop=loop, origin=loop.time())
+            t0, t1 = RecordingTransport(), RecordingTransport()
+            s0 = fanout.add_stream("p0", t0, eta=0.03)
+            fanout.add_stream("p1", t1, eta=0.03)
+            fanout.start()
+            await asyncio.sleep(0.10)
+            s0.stop()
+            s0.stop()  # idempotent
+            frozen = s0.sent_count
+            await asyncio.sleep(0.10)
+            assert s0.sent_count == frozen
+            assert len(t0.payloads) == frozen
+            assert fanout.stream("p1").sent_count > frozen
+            await fanout.aclose()
+
+        asyncio.run(main())
+
+    def test_cohort_goes_dormant_and_rejoins(self):
+        """A cohort whose members all stopped stops waking the loop;
+        a fresh member re-arms it."""
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            fanout = HeartbeatFanout(loop=loop, origin=loop.time())
+            t0 = RecordingTransport()
+            fanout.add_stream("p0", t0, eta=0.03)
+            fanout.start()
+            await asyncio.sleep(0.08)
+            fanout.stop_all()
+            # Let the next tick fire once to lazily compact the cohort.
+            await asyncio.sleep(0.05)
+            t1 = RecordingTransport()
+            fanout.add_stream("p1", t1, eta=0.03)
+            await asyncio.sleep(0.08)
+            assert t1.payloads, "rejoining a dormant cohort must re-arm it"
+            assert fanout.stream_names == ["p0", "p1"]
+            await fanout.aclose()
+
+        asyncio.run(main())
+
+    def test_aclose_stops_everything_idempotently(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            fanout = HeartbeatFanout(loop=loop, origin=loop.time())
+            transport = RecordingTransport()
+            stream = fanout.add_stream("p0", transport, eta=0.02)
+            fanout.start()
+            await asyncio.sleep(0.05)
+            await fanout.aclose()
+            await fanout.aclose()
+            assert stream.stopped
+            sent_at_close = len(transport.payloads)
+            await asyncio.sleep(0.05)
+            assert len(transport.payloads) == sent_at_close
+            with pytest.raises(SimulationError):
+                fanout.add_stream("p1", RecordingTransport(), eta=0.02)
+            with pytest.raises(SimulationError):
+                fanout.start()
+
+        asyncio.run(main())
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        async def main():
+            fanout = HeartbeatFanout(origin=0.0)
+            transport = RecordingTransport()
+            fanout.add_stream("p0", transport, eta=0.05)
+            with pytest.raises(InvalidParameterError):
+                fanout.add_stream("p0", transport, eta=0.05)  # duplicate
+            with pytest.raises(InvalidParameterError):
+                fanout.add_stream("p1", transport, eta=0.0)
+            with pytest.raises(InvalidParameterError):
+                fanout.add_stream("p2", transport, eta=0.05, first_seq=0)
+            with pytest.raises(SimulationError):
+                fanout.stream("nope")
+            await fanout.aclose()
+
+        asyncio.run(main())

@@ -9,6 +9,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.live.transport import (
+    BatchedUdpMonitorTransport,
     LoopbackNetwork,
     UdpMonitorTransport,
     UdpSenderTransport,
@@ -112,6 +113,29 @@ class TestLoopback:
 
         asyncio.run(main())
 
+    def test_pending_deliveries_deregister_on_fire(self):
+        """Fired deliveries leave the pending registry immediately: a
+        long soak keeps it at O(in-flight), never O(history)."""
+
+        async def main():
+            network = LoopbackNetwork(asyncio.get_running_loop())
+            network.attach_monitor(lambda p: None)
+            sender = network.sender(
+                ScriptedLink([0.005] * 50 + [0.5])
+            )
+            for _ in range(51):
+                sender.send(b"x")
+            assert sender.in_flight == 51
+            await asyncio.sleep(0.05)
+            # the 50 fast deliveries fired and pruned themselves; only
+            # the slow straggler remains registered
+            assert sender.in_flight == 1
+            await sender.aclose()
+            assert sender.in_flight == 0
+            await network.aclose()
+
+        asyncio.run(main())
+
 
 class TestUdp:
     def test_end_to_end_datagram(self):
@@ -138,3 +162,77 @@ class TestUdp:
         sender = UdpSenderTransport("127.0.0.1", 1)
         with pytest.raises(SimulationError):
             sender.send(b"x")
+
+
+class TestBatchedUdp:
+    def test_drains_burst_in_one_wakeup(self):
+        """The recv_into fast path receives a burst end to end, hands
+        out immutable snapshots, and counts every datagram."""
+
+        async def main():
+            received = []
+            monitor = BatchedUdpMonitorTransport(
+                "127.0.0.1", 0, received.append
+            )
+            await monitor.start()
+            assert monitor.batched  # selector loops support add_reader
+            host, port = monitor.local_address
+            sender = UdpSenderTransport(host, port)
+            await sender.start()
+            payloads = [b"hb-%d" % i for i in range(20)]
+            for payload in payloads:
+                sender.send(payload)
+            deadline = asyncio.get_running_loop().time() + 2.0
+            while (
+                len(received) < len(payloads)
+                and asyncio.get_running_loop().time() < deadline
+            ):
+                await asyncio.sleep(0.01)
+            assert sorted(received) == sorted(payloads)
+            assert monitor.received == len(payloads)
+            assert all(type(p) is bytes for p in received)
+            await sender.aclose()
+            await monitor.aclose()
+            await monitor.aclose()  # idempotent
+
+        asyncio.run(main())
+
+    def test_oversized_datagram_truncated_not_raised(self):
+        """A jumbo datagram is truncated by recv_into — junk for the
+        decoder to count, never an exception in the reader callback."""
+
+        async def main():
+            received = []
+            monitor = BatchedUdpMonitorTransport(
+                "127.0.0.1", 0, received.append, max_datagram=16
+            )
+            await monitor.start()
+            host, port = monitor.local_address
+            sender = UdpSenderTransport(host, port)
+            await sender.start()
+            sender.send(b"x" * 100)
+            deadline = asyncio.get_running_loop().time() + 2.0
+            while (
+                not received
+                and asyncio.get_running_loop().time() < deadline
+            ):
+                await asyncio.sleep(0.01)
+            assert received == [b"x" * 16]
+            await sender.aclose()
+            await monitor.aclose()
+
+        asyncio.run(main())
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(SimulationError):
+            BatchedUdpMonitorTransport(
+                "127.0.0.1", 0, lambda p: None, max_datagram=0
+            )
+        with pytest.raises(SimulationError):
+            BatchedUdpMonitorTransport(
+                "127.0.0.1", 0, lambda p: None, max_per_wake=0
+            )
+        with pytest.raises(SimulationError):
+            BatchedUdpMonitorTransport(
+                "127.0.0.1", 0, lambda p: None
+            ).local_address

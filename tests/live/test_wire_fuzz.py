@@ -1,0 +1,187 @@
+"""Property tests for the live wire codec (hypothesis).
+
+Three contracts, fuzzed rather than example-tested:
+
+* **round-trip** — ``encode_heartbeat → decode_heartbeat`` is the
+  identity on every representable heartbeat, and the cached
+  :class:`~repro.live.wire.HeartbeatEncoder` produces byte-identical
+  payloads;
+* **decoder equivalence** — :meth:`HeartbeatBatchDecoder.decode_fields`
+  agrees with :func:`decode_heartbeat` on every input, valid or junk
+  (same fields or both raise :class:`WireError`), including repeated
+  payloads that hit the prefix-cache fast path and mutated payloads
+  that must not;
+* **junk totality** — no input, however malformed, raises anything but
+  :class:`WireError` out of either decoder.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.live.wire import (
+    HeartbeatBatchDecoder,
+    HeartbeatEncoder,
+    WireError,
+    decode_heartbeat,
+    encode_heartbeat,
+)
+
+names = st.text(min_size=1, max_size=40).filter(
+    lambda s: len(s.encode("utf-8")) <= 0xFFFF
+)
+incarnations = st.integers(min_value=0, max_value=2**32 - 1)
+seqs = st.integers(min_value=0, max_value=2**64 - 1)
+sigmas = st.floats(allow_nan=False, allow_infinity=False)
+
+
+def _fields_of(payload, decoder):
+    """Normalize both decoders to (outcome, fields-or-None)."""
+    try:
+        if decoder is decode_heartbeat:
+            hb = decode_heartbeat(payload)
+            return "ok", (hb.sender, hb.incarnation, hb.seq, hb.send_local_time)
+        return "ok", tuple(decoder(payload))
+    except WireError:
+        return "junk", None
+
+
+class TestRoundTrip:
+    @given(name=names, inc=incarnations, seq=seqs, sigma=sigmas)
+    @settings(max_examples=200, deadline=None)
+    def test_encode_decode_identity(self, name, inc, seq, sigma):
+        hb = decode_heartbeat(encode_heartbeat(name, inc, seq, sigma))
+        assert (hb.sender, hb.incarnation, hb.seq) == (name, inc, seq)
+        assert hb.send_local_time == sigma
+
+    @given(name=names, inc=incarnations, seq=seqs, sigma=sigmas)
+    @settings(max_examples=200, deadline=None)
+    def test_cached_encoder_byte_identity(self, name, inc, seq, sigma):
+        encoder = HeartbeatEncoder(name, inc)
+        assert encoder.encode(seq, sigma) == encode_heartbeat(
+            name, inc, seq, sigma
+        )
+
+    @given(name=names, inc=incarnations, sigma=sigmas)
+    @settings(max_examples=50, deadline=None)
+    def test_encoder_snapshots_are_independent(self, name, inc, sigma):
+        """Consecutive encodes must not alias one reused buffer — a
+        transport may hold payloads until a delayed delivery fires."""
+        encoder = HeartbeatEncoder(name, inc)
+        first = encoder.encode(1, sigma)
+        second = encoder.encode(2, sigma)
+        assert decode_heartbeat(first).seq == 1
+        assert decode_heartbeat(second).seq == 2
+
+    def test_out_of_range_values_raise_wire_error(self):
+        with pytest.raises(WireError):
+            encode_heartbeat("p", 0, -1, 0.0)
+        with pytest.raises(WireError):
+            encode_heartbeat("p", -1, 1, 0.0)
+        with pytest.raises(WireError):
+            HeartbeatEncoder("p", -1)
+        with pytest.raises(WireError):
+            HeartbeatEncoder("p").encode(2**64, 0.0)
+        with pytest.raises(WireError):
+            encode_heartbeat("x" * 70000, 0, 1, 0.0)
+
+
+class TestDecoderEquivalence:
+    @given(name=names, inc=incarnations, seq=seqs, sigma=sigmas)
+    @settings(max_examples=200, deadline=None)
+    def test_valid_payloads_including_cache_hits(
+        self, name, inc, seq, sigma
+    ):
+        """Cold decode, warm decode (prefix-cache fast path), and the
+        bytearray/memoryview input forms all agree with the reference
+        decoder exactly."""
+        payload = encode_heartbeat(name, inc, seq, sigma)
+        expected = _fields_of(payload, decode_heartbeat)
+        decoder = HeartbeatBatchDecoder()
+        for _ in range(2):  # second pass must hit the prefix cache
+            assert _fields_of(payload, decoder.decode_fields) == expected
+            assert (
+                _fields_of(bytearray(payload), decoder.decode_fields)
+                == expected
+            )
+            assert (
+                _fields_of(memoryview(payload), decoder.decode_fields)
+                == expected
+            )
+
+    @given(
+        name=names,
+        inc=incarnations,
+        seq=seqs,
+        sigma=sigmas,
+        data=st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_mutated_payloads_stay_equivalent(
+        self, name, inc, seq, sigma, data
+    ):
+        """Decode a valid payload (warming the cache), then a mutation
+        of it — truncated, extended, or with flipped bytes.  The cache
+        must never turn a mutant junk payload into a hit with wrong
+        fields: both decoders agree on every mutant."""
+        payload = encode_heartbeat(name, inc, seq, sigma)
+        decoder = HeartbeatBatchDecoder()
+        decoder.decode_fields(payload)  # warm the prefix cache
+        mutant = bytearray(payload)
+        kind = data.draw(
+            st.sampled_from(["truncate", "extend", "flip"])
+        )
+        if kind == "truncate":
+            cut = data.draw(
+                st.integers(min_value=0, max_value=len(mutant))
+            )
+            mutant = mutant[:cut]
+        elif kind == "extend":
+            mutant = mutant + bytearray(
+                data.draw(st.binary(min_size=1, max_size=8))
+            )
+        else:
+            pos = data.draw(
+                st.integers(min_value=0, max_value=len(mutant) - 1)
+            )
+            mutant[pos] ^= data.draw(
+                st.integers(min_value=1, max_value=255)
+            )
+        mutant = bytes(mutant)
+        assert _fields_of(mutant, decoder.decode_fields) == _fields_of(
+            mutant, decode_heartbeat
+        )
+
+    @given(junk=st.binary(max_size=80))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_bytes_never_raise_past_wire_error(self, junk):
+        decoder = HeartbeatBatchDecoder()
+        assert _fields_of(junk, decoder.decode_fields) == _fields_of(
+            junk, decode_heartbeat
+        )
+
+    def test_interning_and_prefix_caches_stay_bounded(self):
+        """Ever-fresh names (port-scan traffic) reset the caches rather
+        than growing them without limit — and decoding stays correct
+        across the reset."""
+        decoder = HeartbeatBatchDecoder(max_names=8)
+        for i in range(40):
+            payload = encode_heartbeat(f"scan-{i}", 0, i, float(i))
+            assert decoder.decode_fields(payload) == (
+                f"scan-{i}",
+                0,
+                i,
+                float(i),
+            )
+        assert len(decoder._names) <= 8
+        assert len(decoder._prefix) <= 8
+
+    def test_nan_sigma_round_trips_through_both_decoders(self):
+        payload = encode_heartbeat("p", 0, 1, math.nan)
+        assert math.isnan(decode_heartbeat(payload).send_local_time)
+        fields = HeartbeatBatchDecoder().decode_fields(payload)
+        assert math.isnan(fields[3])
