@@ -1,0 +1,34 @@
+"""E16 — two-level federation vs flat monitoring at matched budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.hierarchy_exp import run_hierarchy_comparison
+
+
+@pytest.mark.benchmark(group="extension")
+def test_hierarchy_vs_flat(benchmark, emit):
+    tables = benchmark.pedantic(
+        run_hierarchy_comparison,
+        kwargs=dict(horizon=1_500.0, n_crash_runs=8),
+        rounds=1,
+        iterations=1,
+    )
+    qos, mass, churn = tables
+    emit(qos, "hierarchy_qos")
+    emit(mass, "hierarchy_mass_failure")
+    emit(churn, "hierarchy_churn")
+
+    # Budgets were equalized by construction.
+    budgets = qos.column("msgs/s total")
+    assert budgets[1] == pytest.approx(budgets[0], rel=0.05)
+    # The root-load relief is the architecture's point: at least an
+    # order of magnitude at this population.
+    root_rx = qos.column("root rx msgs/s")
+    assert root_rx[1] < root_rx[0] / 10
+    # Both architectures eventually detect the whole mass failure.
+    assert mass.column("flat completeness")[-1] == pytest.approx(1.0)
+    assert mass.column("two-level completeness")[-1] == pytest.approx(1.0)
+    # Churn leaves no dead sender trusted at the root.
+    assert all(v == 0 for v in churn.column("undetected dead"))

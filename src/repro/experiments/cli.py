@@ -26,6 +26,7 @@ from repro.experiments.detection_time import run_detection_time
 from repro.experiments.distributions import run_distributions
 from repro.experiments.fault_sensitivity import run_fault_sensitivity
 from repro.experiments.gossip_comparison import run_gossip_comparison
+from repro.experiments.hierarchy_exp import run_hierarchy_comparison
 from repro.experiments.fig12 import (
     fig12_ascii_plot,
     fig12_tm_table,
@@ -102,6 +103,10 @@ _EXPERIMENTS: Dict[str, Callable[[bool, int, Optional[int]], list]] = {
             n_crash_runs=200 if full else 40,
         )
     ],
+    "hierarchy": lambda full, jobs, batch: run_hierarchy_comparison(
+        horizon=4_000.0 if full else 1_500.0,
+        n_crash_runs=24 if full else 8,
+    ),
 }
 
 

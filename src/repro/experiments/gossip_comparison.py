@@ -152,8 +152,9 @@ def run_gossip_comparison(
         "gossip's observed mean T_D (equal speed -> compare accuracy)"
     )
     table.add_note(
-        "expected shape: gossip buys accuracy by aggregating Theta(N) "
-        "state per message and has no hard T_D bound; NFD keeps a "
-        "deterministic bound (and wins outright per byte)"
+        "expected shape: gossip's staleness timeout turns every slow "
+        "propagation into a recorded mistake and has no hard T_D bound; "
+        "NFD keeps a deterministic bound and is the more accurate "
+        "detector at equal speed here (and wins outright per byte)"
     )
     return table

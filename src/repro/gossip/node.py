@@ -18,13 +18,20 @@ with which delays/losses) lives in :mod:`repro.gossip.simulation`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
 
 __all__ = ["VectorEntry", "GossipNode"]
+
+#: key discriminating a composite (counters + digests) gossip payload
+#: from a plain heartbeat-vector payload.  Plain payload values are
+#: ``int`` counters, so a ``dict`` under this key cannot be confused
+#: with a member named "counters".
+_COUNTERS_KEY = "counters"
+_DIGESTS_KEY = "digests"
 
 
 @dataclass
@@ -83,6 +90,21 @@ class GossipNode:
             m: VectorEntry(counter=0, last_increase=start) for m in members
         }
         self.crashed = False
+        # ---- digest plane (optional) --------------------------------- #
+        # Anti-entropy dissemination of opaque per-origin payloads: each
+        # publishing node keeps a monotone version for its own digest;
+        # receivers merge entries per origin by highest version.  The
+        # hierarchy layer rides its shard-status digests on this.
+        self._digests: Dict[str, Tuple[int, Any]] = {}
+        self._digest_version = 0
+        #: when set, called at every gossip round to refresh this node's
+        #: own digest payload (the returned object is published under a
+        #: freshly bumped version).
+        self.digest_source: Optional[Callable[[], Any]] = None
+        #: when set, called as ``on_digest(origin, version, payload)``
+        #: each time a strictly newer digest version for ``origin`` is
+        #: learned from a received message.
+        self.on_digest: Optional[Callable[[str, int, Any], None]] = None
 
     @property
     def t_gossip(self) -> float:
@@ -110,17 +132,35 @@ class GossipNode:
         me = self._vector[self.node_id]
         me.counter += 1
         me.last_increase = self._now()
+        if self.digest_source is not None:
+            self.publish_digest(self.digest_source())
         peer = self._peers[int(self._rng.integers(len(self._peers)))]
-        payload = {m: e.counter for m, e in self._vector.items()}
+        counters = {m: e.counter for m, e in self._vector.items()}
+        if self._digests:
+            payload: Any = {
+                _COUNTERS_KEY: counters,
+                _DIGESTS_KEY: dict(self._digests),
+            }
+        else:
+            payload = counters
         self._send(self.node_id, peer, payload)
         return peer
 
-    def receive(self, payload: Dict[str, int]) -> None:
-        """Merge a received heartbeat vector (entry-wise maximum)."""
+    def receive(self, payload: Dict[str, Any]) -> None:
+        """Merge a received heartbeat vector (entry-wise maximum).
+
+        Composite payloads (``{"counters": {...}, "digests": {...}}``)
+        additionally merge the digest plane per origin by highest
+        version; plain counter dicts are accepted unchanged.
+        """
         if self.crashed:
             return
+        counters = payload
+        if isinstance(payload.get(_COUNTERS_KEY), dict):
+            counters = payload[_COUNTERS_KEY]
+            self._merge_digests(payload.get(_DIGESTS_KEY) or {})
         now = self._now()
-        for member, counter in payload.items():
+        for member, counter in counters.items():
             entry = self._vector.get(member)
             if entry is None:
                 self._vector[member] = VectorEntry(counter, now)
@@ -129,15 +169,67 @@ class GossipNode:
                 entry.last_increase = now
 
     # ------------------------------------------------------------------ #
+    # Digest plane
+    # ------------------------------------------------------------------ #
+
+    def publish_digest(self, payload: Any) -> int:
+        """Publish ``payload`` as this node's digest; returns the version.
+
+        Each publish bumps a monotone per-origin version, so receivers
+        can merge concurrent copies deterministically (highest version
+        wins) and re-publishing doubles as a digest-plane freshness
+        signal.
+        """
+        self._digest_version += 1
+        self._digests[self.node_id] = (self._digest_version, payload)
+        return self._digest_version
+
+    def digest(self, origin: str) -> Optional[Tuple[int, Any]]:
+        """The newest ``(version, payload)`` known for ``origin``."""
+        return self._digests.get(origin)
+
+    @property
+    def digests(self) -> Dict[str, Tuple[int, Any]]:
+        return dict(self._digests)
+
+    def _merge_digests(self, incoming: Dict[str, Tuple[int, Any]]) -> None:
+        for origin, (version, blob) in incoming.items():
+            if origin == self.node_id:
+                # We are the sole publisher under our own origin: an
+                # echo never replaces the local payload, but its
+                # version raises the publish-counter floor so the next
+                # publish dominates every copy still circulating (e.g.
+                # after a restart lost the counter).
+                self._digest_version = max(self._digest_version, version)
+                continue
+            held = self._digests.get(origin)
+            if held is None or version > held[0]:
+                self._digests[origin] = (version, blob)
+                if self.on_digest is not None:
+                    self.on_digest(origin, version, blob)
+
+    # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
 
     def suspects(self, member: str) -> bool:
-        """Whether this node currently suspects ``member``."""
+        """Whether this node currently suspects ``member``.
+
+        Suspicion begins *exactly* at the staleness deadline
+        ``last_increase + t_fail`` (closed boundary), and the comparison
+        is written against that same sum — not as ``now - last_increase
+        > t_fail`` — so an evaluation scheduled at
+        :meth:`suspicion_flip_time` agrees with this predicate to the
+        last floating-point bit.  (The old strict-``>`` difference form
+        made a timer firing at the deadline see "not yet suspected" and,
+        with nothing left to re-arm it, deferred the S transition to the
+        next receive — overstating detection time by up to a full gossip
+        inter-arrival.)
+        """
         if member == self.node_id:
             return False
         entry = self._vector[member]
-        return self._now() - entry.last_increase > self._t_fail
+        return self._now() >= entry.last_increase + self._t_fail
 
     def suspected_set(self) -> frozenset:
         return frozenset(

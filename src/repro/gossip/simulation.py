@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,7 +26,32 @@ from repro.metrics.transitions import SUSPECT, TRUST, OutputTrace
 from repro.net.delays import DelayDistribution
 from repro.sim.engine import Simulator
 
-__all__ = ["GossipCluster", "GossipResult", "run_gossip"]
+__all__ = ["GossipCluster", "GossipResult", "run_gossip", "payload_size_bytes"]
+
+#: callback signature for cluster transition listeners:
+#: ``listener(observer, subject, time, output)`` with output "S"/"T".
+TransitionListener = Callable[[str, str, float, str], None]
+
+
+def payload_size_bytes(payload) -> int:
+    """Approximate wire size of one gossip payload, in bytes.
+
+    Counters cost 8 bytes per entry plus a small per-name overhead;
+    digest blobs are asked for their own ``packed_size_bytes()`` when
+    they provide one (the hierarchy's shard digests do), else charged a
+    flat word.  This is an accounting model, not a serializer — it keeps
+    byte-budget comparisons honest without pulling in a codec.
+    """
+    counters = payload
+    digests = {}
+    if isinstance(payload.get("counters"), dict):
+        counters = payload["counters"]
+        digests = payload.get("digests") or {}
+    size = sum(8 + len(name) for name in counters)
+    for _origin, (_version, blob) in digests.items():
+        packed = getattr(blob, "packed_size_bytes", None)
+        size += 12 + (int(packed()) if callable(packed) else 8)
+    return size
 
 
 @dataclass
@@ -39,12 +64,30 @@ class GossipResult:
     crash_time: Optional[float]
     n_nodes: int
     detection_times: Dict[str, float] = field(default_factory=dict)
+    #: integral of the number of *alive* nodes over the run, in
+    #: node-time units; ``None`` (legacy constructions) falls back to
+    #: ``n_nodes * horizon``.
+    alive_node_time: Optional[float] = None
+    bytes_sent: int = 0
 
     @property
     def per_process_send_rate(self) -> float:
-        # messages / (nodes * time); crashed nodes stop sending, which
-        # slightly understates the rate — fine for budget comparisons.
-        return self.messages_sent / (self.n_nodes * self.horizon)
+        """Messages per unit time per *alive* process.
+
+        The denominator integrates alive-node time: a node crashed at
+        ``t_c`` contributes ``t_c``, not ``horizon``.  Dividing by
+        ``n_nodes * horizon`` (the old accounting) diluted the rate with
+        dead time, biasing any budget-matched comparison by the crash
+        scenario itself.
+        """
+        denom = (
+            self.alive_node_time
+            if self.alive_node_time is not None
+            else self.n_nodes * self.horizon
+        )
+        if denom <= 0.0:
+            return math.nan
+        return self.messages_sent / denom
 
 
 class GossipCluster:
@@ -58,6 +101,8 @@ class GossipCluster:
         delay: DelayDistribution,
         loss_probability: float,
         seed: int = 0,
+        sim: Optional[Simulator] = None,
+        member_names: Optional[Sequence[str]] = None,
     ) -> None:
         if n_nodes < 2:
             raise InvalidParameterError(f"need >= 2 nodes, got {n_nodes}")
@@ -65,13 +110,30 @@ class GossipCluster:
             raise InvalidParameterError(
                 f"loss_probability must be in [0,1), got {loss_probability}"
             )
-        self.sim = Simulator()
+        if member_names is not None and len(member_names) != n_nodes:
+            raise InvalidParameterError(
+                f"member_names has {len(member_names)} entries for "
+                f"{n_nodes} nodes"
+            )
+        # Sharing an external simulator lets the gossip plane co-run
+        # with other subsystems (the hierarchy's leaf monitors) in one
+        # virtual timeline.
+        self.sim = sim if sim is not None else Simulator()
         self._delay = delay
         self._p_l = float(loss_probability)
         self._rng = np.random.default_rng(seed)
-        self.members = [f"n{i}" for i in range(n_nodes)]
+        self.members = (
+            list(member_names)
+            if member_names is not None
+            else [f"n{i}" for i in range(n_nodes)]
+        )
         self.nodes: Dict[str, GossipNode] = {}
         self.messages_sent = 0
+        self.bytes_sent = 0
+        #: actual crash times, recorded by :meth:`crash` (first crash
+        #: wins) — the alive-node-time integral is derived from these.
+        self.crash_times: Dict[str, float] = {}
+        self._listeners: List[TransitionListener] = []
         for m in self.members:
             self.nodes[m] = GossipNode(
                 node_id=m,
@@ -99,12 +161,26 @@ class GossipCluster:
 
     def _transmit(self, src: str, dst: str, payload: Dict[str, int]) -> None:
         self.messages_sent += 1
+        self.bytes_sent += payload_size_bytes(payload)
         if self._p_l > 0.0 and self._rng.random() < self._p_l:
             return
         d = float(self._delay.sample(self._rng, 1)[0])
         self.sim.schedule_at(
             self.sim.now + d, lambda: self.nodes[dst].receive(payload)
         )
+
+    def set_loss_probability(self, loss_probability: float) -> None:
+        """Change the plane's loss rate mid-run (burst/flap injection).
+
+        Messages already in flight keep their fate; only future sends
+        draw against the new rate — same regime-change semantics as
+        :meth:`repro.net.link.LossyLink.set_conditions`.
+        """
+        if not 0.0 <= loss_probability < 1.0:
+            raise InvalidParameterError(
+                f"loss_probability must be in [0,1), got {loss_probability}"
+            )
+        self._p_l = float(loss_probability)
 
     # ------------------------------------------------------------------ #
     # Watching pairs
@@ -141,6 +217,21 @@ class GossipCluster:
             node.receive = receive_and_evaluate  # type: ignore[method-assign]
         self._evaluate(key)
 
+    def subscribe(self, listener: TransitionListener) -> None:
+        """Register ``listener(observer, subject, time, output)`` to be
+        called on every recorded watch transition (the hierarchy layer
+        drives its root-side leaf-staleness masking off this)."""
+        self._listeners.append(listener)
+
+    def watched_output(self, observer: str, subject: str) -> str:
+        """The currently *recorded* output for a watched pair."""
+        try:
+            return self._watch_state[(observer, subject)]
+        except KeyError:
+            raise InvalidParameterError(
+                f"pair ({observer!r}, {subject!r}) is not watched"
+            ) from None
+
     def _evaluate(self, key: Tuple[str, str]) -> None:
         """Record a transition if the observer's view of subject flipped;
         keep exactly one lazy timer armed for the staleness deadline."""
@@ -150,11 +241,18 @@ class GossipCluster:
         if state != self._watch_state[key]:
             self._watch_state[key] = state
             self._watch[key].record(self.sim.now, state)
+            for listener in self._listeners:
+                listener(observer, subject, self.sim.now, state)
         if state == TRUST:
             deadline = node.suspicion_flip_time(subject)
             # Arm at most one timer per (key, deadline): re-arming on
             # every receive would leak one self-renewing timer each.
-            if deadline > self.sim.now and self._armed.get(key) != deadline:
+            # The deadline boundary is *closed* (suspects() flips at
+            # ``now == deadline``), so the guard admits equality too: a
+            # TRUST verdict co-timed with its own deadline — possible
+            # only through float pathology — still gets a timer that
+            # fires immediately rather than silently never re-arming.
+            if deadline >= self.sim.now and self._armed.get(key) != deadline:
                 self._armed[key] = deadline
 
                 def fire(expected=deadline) -> None:
@@ -185,7 +283,25 @@ class GossipCluster:
         self.sim.schedule_at(when, fire)
 
     def crash(self, member: str) -> None:
-        self.nodes[member].crashed = True
+        """Crash ``member`` now.  Idempotent; the first crash time is
+        recorded for alive-node-time accounting."""
+        node = self.nodes.get(member)
+        if node is None:
+            raise InvalidParameterError(
+                f"unknown member {member!r}; cluster members are "
+                f"{', '.join(self.members)}"
+            )
+        node.crashed = True
+        self.crash_times.setdefault(member, self.sim.now)
+
+    def alive_node_time(self, horizon: float) -> float:
+        """Integral of the alive-node count over ``[0, horizon]``."""
+        return float(
+            sum(
+                min(self.crash_times.get(m, horizon), horizon)
+                for m in self.members
+            )
+        )
 
     def finish(self) -> Dict[Tuple[str, str], OutputTrace]:
         return {
@@ -210,19 +326,37 @@ def run_gossip(
     The *subject* is the crashed member when a crash is scheduled, else
     the last member; every other node observes it.
     """
+    if horizon <= 0.0:
+        raise InvalidParameterError(f"horizon must be positive, got {horizon}")
+    if crash_time is not None and crash_member is None:
+        raise InvalidParameterError(
+            "crash_time given without crash_member (it would be silently "
+            "ignored); pass the member to crash as well"
+        )
     cluster = GossipCluster(
         n_nodes, t_gossip, t_fail, delay, loss_probability, seed=seed
     )
+    if crash_member is not None and crash_member not in cluster.nodes:
+        raise InvalidParameterError(
+            f"crash_member {crash_member!r} is not in the cluster; "
+            f"members are n0..n{n_nodes - 1}"
+        )
+    if crash_member is not None:
+        when = crash_time if crash_time is not None else horizon / 2.0
+        if not 0.0 <= when < horizon:
+            raise InvalidParameterError(
+                f"crash_time must lie inside [0, horizon={horizon:g}) so "
+                f"the crash can be observed, got {when:g}"
+            )
+    else:
+        when = None
     subject = crash_member if crash_member else cluster.members[-1]
     for observer in cluster.members:
         if observer != subject:
             cluster.watch(observer, subject)
     cluster.start()
-    if crash_member is not None:
-        when = crash_time if crash_time is not None else horizon / 2.0
+    if when is not None:
         cluster.sim.schedule_at(when, lambda: cluster.crash(crash_member))
-    else:
-        when = None
     cluster.sim.run_until(horizon)
     traces = cluster.finish()
 
@@ -244,4 +378,6 @@ def run_gossip(
         crash_time=when,
         n_nodes=n_nodes,
         detection_times=detection,
+        alive_node_time=cluster.alive_node_time(horizon),
+        bytes_sent=cluster.bytes_sent,
     )

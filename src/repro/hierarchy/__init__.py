@@ -1,0 +1,58 @@
+"""repro.hierarchy — federated monitoring trees over the gossip plane.
+
+Flat monitoring — even on the vectorized SoA engine — funnels every
+heartbeat through one monitor; trees with digest dissemination are the
+architecture that scales past it (Dobre et al., *Robust Failure
+Detection Architecture for Large Scale Distributed Systems*, on the
+gossip substrate of van Renesse et al.).  This package builds that
+topology out of the pieces the repository already has:
+
+* leaf monitors (:class:`~repro.hierarchy.leaf.LeafMonitor`) — one
+  :class:`~repro.service.MonitorService` per shard of senders;
+* compact versioned shard digests
+  (:mod:`repro.hierarchy.digest`) whose merge is a join-semilattice, so
+  epidemic delivery order cannot matter;
+* the gossip digest plane — :class:`~repro.gossip.GossipCluster`
+  members carry digests on their heartbeat vectors, and the root uses
+  gossip-counter staleness to suspect silent leaves (masking their
+  whole shard);
+* a root aggregator (:class:`~repro.hierarchy.root.RootAggregator`)
+  exposing the paper's per-sender S/T
+  :class:`~repro.metrics.transitions.OutputTrace` surface, so T_D,
+  T_MR and T_M *as seen at the root* come from the standard
+  estimators;
+* the federation driver
+  (:class:`~repro.hierarchy.federation.HierarchicalMonitor`) wiring it
+  all onto one simulator, with per-level telemetry and message/byte
+  budget accounting.
+
+:mod:`repro.experiments.hierarchy_exp` (E16) compares the two-level
+topology against flat monitoring at matched per-process message budget,
+including mass-failure and churn scenarios.
+"""
+
+from repro.hierarchy.digest import (
+    DigestBook,
+    SenderStatus,
+    ShardDigest,
+    dominates,
+)
+from repro.hierarchy.federation import (
+    HierarchicalMonitor,
+    HierarchyConfig,
+    HierarchyResult,
+)
+from repro.hierarchy.leaf import LeafMonitor
+from repro.hierarchy.root import RootAggregator
+
+__all__ = [
+    "DigestBook",
+    "SenderStatus",
+    "ShardDigest",
+    "dominates",
+    "HierarchicalMonitor",
+    "HierarchyConfig",
+    "HierarchyResult",
+    "LeafMonitor",
+    "RootAggregator",
+]

@@ -33,6 +33,7 @@ from repro.telemetry.export import (
     to_prometheus,
     validate_record,
 )
+from repro.telemetry.hierarchy import HierarchyTelemetry
 from repro.telemetry.qos_online import (
     OnlineQoSEstimator,
     ServiceTelemetry,
@@ -65,6 +66,8 @@ __all__ = [
     "OnlineQoSEstimator",
     "ServiceTelemetry",
     "pool_online",
+    # hierarchy
+    "HierarchyTelemetry",
     # export
     "SCHEMA",
     "append_jsonl",

@@ -1,0 +1,86 @@
+"""Tests for the E16 hierarchical-vs-flat comparison driver."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments.cli import _EXPERIMENTS
+from repro.experiments.hierarchy_exp import (
+    HierarchySettings,
+    run_hierarchy_comparison,
+)
+
+
+def small_settings():
+    return HierarchySettings(n_senders=16, n_leaves=2)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return run_hierarchy_comparison(
+        small_settings(), horizon=200.0, n_crash_runs=2, churn_ops=8
+    )
+
+
+class TestBudgetMatching:
+    def test_eta_leaf_absorbs_plane_spend(self):
+        s = small_settings()
+        # N/eta_leaf + (L+1)/t_digest == N/eta_flat
+        total = s.n_senders / s.eta_leaf + (s.n_leaves + 1) / s.t_digest
+        assert total == pytest.approx(s.flat_budget)
+        assert s.eta_leaf > s.eta_flat  # heartbeats got slower to pay
+
+    def test_plane_must_fit_in_budget(self):
+        s = HierarchySettings(n_senders=4, n_leaves=4, t_digest=1.0)
+        with pytest.raises(InvalidParameterError):
+            _ = s.eta_leaf
+
+
+class TestTables:
+    def test_three_tables_with_expected_schemas(self, tables):
+        qos, mass, churn = tables
+        assert qos.column("architecture") == ["flat", "two-level"]
+        assert len(mass.rows) == 6
+        assert churn.column("architecture") == ["flat", "two-level"]
+
+    def test_budgets_match_between_architectures(self, tables):
+        qos, _, _ = tables
+        flat_total, hier_total = qos.column("msgs/s total")
+        assert hier_total == pytest.approx(flat_total, rel=0.05)
+
+    def test_root_load_is_the_win(self, tables):
+        qos, _, _ = tables
+        flat_rx, hier_rx = qos.column("root rx msgs/s")
+        assert hier_rx < flat_rx / 3
+
+    def test_detection_is_finite_and_ordered(self, tables):
+        qos, _, _ = tables
+        flat_td, hier_td = qos.column("mean T_D")
+        assert math.isfinite(flat_td) and math.isfinite(hier_td)
+        # The federation pays digest dissemination on top of leaf
+        # detection; it cannot beat flat detection at the root.
+        assert hier_td > flat_td
+
+    def test_mass_failure_converges_to_complete(self, tables):
+        _, mass, _ = tables
+        flat_c = mass.column("flat completeness")
+        hier_c = mass.column("two-level completeness")
+        assert flat_c[-1] == pytest.approx(1.0)
+        assert hier_c[-1] == pytest.approx(1.0)
+
+    def test_churn_ends_in_agreement(self, tables):
+        _, _, churn = tables
+        for undetected in churn.column("undetected dead"):
+            assert undetected == 0
+
+
+class TestValidationAndCLI:
+    def test_crash_fraction_validated(self):
+        with pytest.raises(InvalidParameterError):
+            run_hierarchy_comparison(small_settings(), crash_fraction=0.0)
+
+    def test_registered_in_cli(self):
+        assert "hierarchy" in _EXPERIMENTS

@@ -108,3 +108,62 @@ class TestProtocol:
             counts[dst] = counts.get(dst, 0) + 1
         for dst in ("b", "c", "d"):
             assert counts[dst] == pytest.approx(1000, rel=0.15)
+
+
+class TestDigestPlane:
+    def test_plain_payloads_until_first_digest(self):
+        node, sent, clock = make_node()
+        node.gossip_round()
+        # No digests yet: the wire payload stays a plain counters dict
+        # (backward compatible with pre-digest receivers).
+        _, _, payload = sent[0]
+        assert payload == {"a": 1, "b": 0, "c": 0}
+
+    def test_publish_bumps_version_and_rides_on_rounds(self):
+        node, sent, clock = make_node()
+        v1 = node.publish_digest({"shard": "x"})
+        v2 = node.publish_digest({"shard": "y"})
+        assert v2 == v1 + 1
+        node.gossip_round()
+        _, _, payload = sent[-1]
+        assert payload["counters"]["a"] == 1
+        assert payload["digests"]["a"] == (v2, {"shard": "y"})
+
+    def test_digest_source_refreshes_each_round(self):
+        node, sent, clock = make_node()
+        blobs = iter(["first", "second"])
+        node.digest_source = lambda: next(blobs)
+        node.gossip_round()
+        node.gossip_round()
+        version, blob = node.digest("a")
+        assert blob == "second"
+        assert version == 2
+
+    def test_receive_merges_by_highest_version(self):
+        node, _, clock = make_node()
+        node.receive({"counters": {"b": 1}, "digests": {"b": (3, "new")}})
+        node.receive({"counters": {"b": 2}, "digests": {"b": (2, "old")}})
+        assert node.digest("b") == (3, "new")
+        # Counters still merged entrywise-max from the composite form.
+        assert node.vector["b"].counter == 2
+
+    def test_on_digest_fires_only_for_strictly_newer(self):
+        node, _, clock = make_node()
+        seen = []
+        node.on_digest = lambda origin, version, blob: seen.append(
+            (origin, version, blob)
+        )
+        node.receive({"counters": {}, "digests": {"b": (1, "x")}})
+        node.receive({"counters": {}, "digests": {"b": (1, "x")}})
+        node.receive({"counters": {}, "digests": {"b": (2, "y")}})
+        assert seen == [("b", 1, "x"), ("b", 2, "y")]
+
+    def test_own_digest_never_overwritten_by_gossip(self):
+        node, _, clock = make_node()
+        node.publish_digest("mine")
+        node.receive({"counters": {}, "digests": {"a": (99, "echo")}})
+        version, blob = node.digest("a")
+        assert blob == "mine"
+        # ...but the version floor rises so the next publish dominates
+        # any echo still circulating.
+        assert node.publish_digest("mine2") > 99

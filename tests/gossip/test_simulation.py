@@ -137,3 +137,130 @@ class TestCrash:
         for (observer, subject), trace in r.traces.items():
             assert subject == "n0"
             assert trace.current_output == SUSPECT
+
+
+class TestRunGossipValidation:
+    def test_unknown_crash_member_rejected(self):
+        with pytest.raises(InvalidParameterError, match="n0..n5"):
+            run_gossip(
+                6,
+                t_gossip=1.0,
+                t_fail=5.0,
+                delay=ConstantDelay(0.01),
+                loss_probability=0.0,
+                horizon=50.0,
+                crash_member="n9",
+                crash_time=10.0,
+                seed=0,
+            )
+
+    def test_crash_time_at_or_past_horizon_rejected(self):
+        for crash_time in (50.0, 80.0):
+            with pytest.raises(InvalidParameterError, match="horizon"):
+                run_gossip(
+                    4,
+                    t_gossip=1.0,
+                    t_fail=5.0,
+                    delay=ConstantDelay(0.01),
+                    loss_probability=0.0,
+                    horizon=50.0,
+                    crash_member="n1",
+                    crash_time=crash_time,
+                    seed=0,
+                )
+
+    def test_crash_time_without_member_rejected(self):
+        with pytest.raises(InvalidParameterError, match="crash_member"):
+            run_gossip(
+                4,
+                t_gossip=1.0,
+                t_fail=5.0,
+                delay=ConstantDelay(0.01),
+                loss_probability=0.0,
+                horizon=50.0,
+                crash_time=10.0,
+                seed=0,
+            )
+
+    def test_nonpositive_horizon_rejected(self):
+        with pytest.raises(InvalidParameterError, match="horizon"):
+            run_gossip(
+                4,
+                t_gossip=1.0,
+                t_fail=5.0,
+                delay=ConstantDelay(0.01),
+                loss_probability=0.0,
+                horizon=0.0,
+                seed=0,
+            )
+
+
+class TestSendRateAccounting:
+    def test_rate_uses_alive_node_time_after_crash(self):
+        # n0 crashes halfway: it contributes ~horizon/2 of node-time, so
+        # the per-process rate stays ~1/t_gossip instead of sagging to
+        # ~(n - 0.5)/n of it under the old n*horizon denominator.
+        r = run_gossip(
+            4,
+            t_gossip=1.0,
+            t_fail=5.0,
+            delay=ConstantDelay(0.05),
+            loss_probability=0.0,
+            horizon=400.0,
+            crash_member="n0",
+            crash_time=200.0,
+            seed=9,
+        )
+        assert r.alive_node_time == pytest.approx(3 * 400.0 + 200.0)
+        assert r.per_process_send_rate == pytest.approx(1.0, rel=0.05)
+        # The old denominator would have shown a ~12% artifact:
+        biased = r.messages_sent / (4 * 400.0)
+        assert biased < 0.92
+
+    def test_bytes_accounting_nonzero(self):
+        r = run_gossip(
+            4,
+            t_gossip=1.0,
+            t_fail=5.0,
+            delay=ConstantDelay(0.05),
+            loss_probability=0.0,
+            horizon=50.0,
+            seed=1,
+        )
+        assert r.bytes_sent > 0
+
+
+class TestWatchInstrumentation:
+    def test_watched_output_requires_a_watch(self):
+        c = GossipCluster(3, 1.0, 5.0, ConstantDelay(0.01), 0.0)
+        with pytest.raises(InvalidParameterError):
+            c.watched_output("n0", "n1")
+
+    def test_subscribe_sees_crash_transition(self):
+        c = GossipCluster(3, 1.0, 5.0, ConstantDelay(0.05), 0.0, seed=2)
+        events = []
+        c.subscribe(
+            lambda observer, subject, time, output: events.append(
+                (observer, subject, time, output)
+            )
+        )
+        c.watch("n0", "n2")
+        c.start()
+        c.sim.schedule_at(20.0, lambda: c.crash("n2"))
+        c.sim.run_until(60.0)
+        c.finish()
+        s_events = [e for e in events if e[3] == SUSPECT]
+        assert s_events, "expected an S transition after the crash"
+        observer, subject, time, _ = s_events[-1]
+        assert (observer, subject) == ("n0", "n2")
+        assert time == c.nodes["n0"].vector["n2"].last_increase + 5.0
+
+    def test_crash_unknown_member_rejected(self):
+        c = GossipCluster(3, 1.0, 5.0, ConstantDelay(0.01), 0.0)
+        with pytest.raises(InvalidParameterError):
+            c.crash("n7")
+
+    def test_set_loss_probability_validated(self):
+        c = GossipCluster(3, 1.0, 5.0, ConstantDelay(0.01), 0.0)
+        with pytest.raises(InvalidParameterError):
+            c.set_loss_probability(1.5)

@@ -1,0 +1,150 @@
+"""Hypothesis fuzzing of gossip watch traces under flapping loss.
+
+Random loss-burst schedules drive the cluster in and out of suspicion
+("flapping").  Whatever the schedule, two invariants must hold:
+
+* **agreement** — at any probe instant, the recorded watch output
+  (:meth:`GossipCluster.watched_output`) and the node's own staleness
+  verdict (:meth:`GossipNode.suspects`) say the same thing (the
+  boundary bug broke exactly this, at ``now == last_increase +
+  t_fail``);
+* **well-formedness** — every finished trace is closed, its
+  transitions strictly alternate S/T, and their times are
+  non-decreasing within ``[0, horizon]``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gossip.simulation import GossipCluster
+from repro.metrics.transitions import SUSPECT
+from repro.net.delays import ExponentialDelay
+
+HORIZON = 60.0
+
+# A loss-burst schedule: (start, duration, loss probability) triples.
+# High loss over several t_fail windows starves observers of counter
+# news and flips watches to S; recovery flips them back.
+bursts = st.lists(
+    st.tuples(
+        st.floats(min_value=5.0, max_value=HORIZON - 10.0),
+        st.floats(min_value=1.0, max_value=15.0),
+        st.floats(min_value=0.5, max_value=0.98),
+    ),
+    min_size=0,
+    max_size=3,
+)
+
+
+def _run_cluster(n_nodes, t_fail, seed, burst_list, probe_times):
+    cluster = GossipCluster(
+        n_nodes,
+        t_gossip=1.0,
+        t_fail=t_fail,
+        delay=ExponentialDelay(0.05),
+        loss_probability=0.0,
+        seed=seed,
+    )
+    observer = "n0"
+    subjects = [m for m in cluster.members if m != observer]
+    for subject in subjects:
+        cluster.watch(observer, subject)
+
+    for start, duration, p in burst_list:
+        cluster.sim.schedule_at(
+            start, lambda p=p: cluster.set_loss_probability(p)
+        )
+        cluster.sim.schedule_at(
+            min(start + duration, HORIZON - 1.0),
+            lambda: cluster.set_loss_probability(0.0),
+        )
+
+    mismatches = []
+
+    def probe():
+        now = cluster.sim.now
+        node = cluster.nodes[observer]
+        for subject in subjects:
+            if now == node.suspicion_flip_time(subject):
+                # The probe and the deadline timer fire at the same
+                # instant; scheduling order between them is arbitrary,
+                # so agreement is only guaranteed strictly away from
+                # the flip time.
+                continue
+            recorded = cluster.watched_output(observer, subject)
+            verdict = node.suspects(subject)
+            if (recorded == SUSPECT) != verdict:
+                mismatches.append((now, subject, recorded, verdict))
+
+    for t in probe_times:
+        cluster.sim.schedule_at(t, probe)
+
+    cluster.start()
+    cluster.sim.run_until(HORIZON)
+    traces = cluster.finish()
+    return traces, mismatches
+
+
+@given(
+    n_nodes=st.integers(min_value=3, max_value=6),
+    t_fail=st.floats(min_value=3.0, max_value=8.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    burst_list=bursts,
+    probe_times=st.lists(
+        st.floats(min_value=0.5, max_value=HORIZON - 0.5),
+        min_size=1,
+        max_size=12,
+        unique=True,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_watch_state_agrees_and_traces_are_well_formed(
+    n_nodes, t_fail, seed, burst_list, probe_times
+):
+    traces, mismatches = _run_cluster(
+        n_nodes, t_fail, seed, burst_list, probe_times
+    )
+    assert mismatches == []
+    assert len(traces) == n_nodes - 1
+    for (observer, subject), trace in traces.items():
+        assert observer == "n0" and subject != "n0"
+        assert trace.closed
+        assert trace.start_time == 0.0
+        assert trace.end_time == HORIZON
+        kinds = [t.kind for t in trace.transitions]
+        for a, b in zip(kinds, kinds[1:]):
+            assert a != b, "transitions must strictly alternate S/T"
+        times = [t.time for t in trace.transitions]
+        assert times == sorted(times)
+        for t in times:
+            assert 0.0 <= t <= HORIZON
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_total_loss_burst_forces_flap_and_recovery(seed):
+    # One deterministic-shape scenario per seed: a total blackout longer
+    # than t_fail must flip every watch to S; after recovery the watch
+    # must return to T.  Exercises the re-arm path after a deadline
+    # fires (pre-fix, a timer landing exactly on its deadline died).
+    traces, mismatches = _run_cluster(
+        n_nodes=4,
+        t_fail=4.0,
+        seed=seed,
+        burst_list=[(20.0, 12.0, 0.98)],
+        probe_times=[15.0, 30.0, 55.0],
+    )
+    assert mismatches == []
+    flapped = sum(
+        1
+        for trace in traces.values()
+        if any(t.kind.new_output == SUSPECT for t in trace.transitions)
+    )
+    # With ~total loss for 3 t_fail windows, at least one watch flaps.
+    assert flapped >= 1
+    for trace in traces.values():
+        # Recovery: with zero loss from t=32 on, every watch is back to
+        # trusted well before the horizon.
+        assert trace.output_at(HORIZON - 0.5) != SUSPECT
