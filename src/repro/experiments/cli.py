@@ -24,6 +24,7 @@ from repro.experiments.config_examples import run_config_examples
 from repro.experiments.cutoff_ablation import run_cutoff_ablation
 from repro.experiments.detection_time import run_detection_time
 from repro.experiments.distributions import run_distributions
+from repro.experiments.election_exp import run_election_qos
 from repro.experiments.fault_sensitivity import run_fault_sensitivity
 from repro.experiments.gossip_comparison import run_gossip_comparison
 from repro.experiments.hierarchy_exp import run_hierarchy_comparison
@@ -92,6 +93,7 @@ _EXPERIMENTS: Dict[str, Callable[[bool, int, Optional[int]], list]] = {
     "fault-sensitivity": lambda full, jobs, batch: run_fault_sensitivity(
         full=full, jobs=jobs
     ),
+    "election": lambda full, jobs, batch: run_election_qos(full=full),
     "adaptive": lambda full, jobs, batch: [run_adaptive()],
     "phi-accrual": lambda full, jobs, batch: [
         run_phi_comparison(horizon=100_000.0 if full else 20_000.0)

@@ -52,6 +52,7 @@ from repro.live.wire import (
     decode_heartbeat,
 )
 from repro.metrics.transitions import SUSPECT, OutputTrace
+from repro.service.events import MonitorEvent
 from repro.telemetry.qos_online import OnlineQoSEstimator
 from repro.telemetry.registry import MetricsRegistry
 
@@ -187,6 +188,7 @@ class LiveMonitorService:
         self._inbox_ready = asyncio.Event()
         self._peers: Dict[str, _Peer] = {}
         self._results: List[LivePeerResult] = []
+        self._listeners: List[Callable[[MonitorEvent], None]] = []
         self._suspected: set = set()
         self._supervisor = TaskSupervisor()
         self._started = False
@@ -333,7 +335,12 @@ class LiveMonitorService:
             if peer.observe
             else None
         )
-        hook = lambda t, out, name=peer.name: self._note_transition(name, out)  # noqa: E731
+        # The incarnation is captured in the closure so a transition
+        # fired by a superseded host can be recognized and muted — the
+        # election layer must never act on a stale incarnation's bit.
+        hook = lambda t, out, name=peer.name, inc=incarnation: (  # noqa: E731
+            self._note_transition(name, out, t, inc)
+        )
         if self._engine_kind == "soa" and supports_detector(detector):
             host = SoALiveHost(
                 self._soa(),
@@ -360,6 +367,19 @@ class LiveMonitorService:
         self._suspected.add(peer.name)  # paper detectors start at S
         self._g_suspected.set(len(self._suspected))
         host.start()
+        # Announce the fresh incarnation to subscribers: it starts at S
+        # (administrative — not a detector transition, so no counters),
+        # which guarantees a consumer holding a stale trust bit drops it
+        # the instant the restart is observed.
+        self._publish(
+            MonitorEvent(
+                time=self.local_now(),
+                process=peer.name,
+                output=SUSPECT,
+                administrative=True,
+                incarnation=incarnation,
+            )
+        )
 
     def _finalize_incarnation(self, peer: _Peer) -> Optional[LivePeerResult]:
         host = peer.host
@@ -385,6 +405,18 @@ class LiveMonitorService:
         # not leave a ghost behind).
         self._suspected.discard(peer.name)
         self._g_suspected.set(len(self._suspected))
+        # Departure event: subscribers (e.g. an elector) must untrust a
+        # peer whose books just closed, exactly like the sim service's
+        # synthetic S on remove_process.
+        self._publish(
+            MonitorEvent(
+                time=self.local_now(),
+                process=peer.name,
+                output=SUSPECT,
+                administrative=True,
+                incarnation=peer.incarnation,
+            )
+        )
         return result
 
     def remove_peer(self, name: str) -> Optional[LivePeerResult]:
@@ -414,7 +446,29 @@ class LiveMonitorService:
         self.add_peer(name, factory, eta=eta)
         return self._peers[name]
 
-    def _note_transition(self, name: str, output: str) -> None:
+    def subscribe(self, listener: Callable[[MonitorEvent], None]) -> None:
+        """Register a callback for every detector transition.
+
+        Subscribers receive current-incarnation transitions plus
+        administrative ``S`` events at incarnation starts and removals
+        (mirroring :class:`~repro.service.monitor_service.MonitorService`),
+        so a consumer like :class:`~repro.election.omega.LiveElector`
+        can never hold a trust bit belonging to a finalized incarnation.
+        """
+        self._listeners.append(listener)
+
+    def _publish(self, event: MonitorEvent) -> None:
+        for callback in self._listeners:
+            callback(event)
+
+    def _note_transition(
+        self, name: str, output: str, time: float, incarnation: int
+    ) -> None:
+        peer = self._peers.get(name)
+        if peer is None or peer.incarnation != incarnation:
+            # A superseded incarnation's host fired after its books were
+            # closed; its opinion must not leak to gauges or listeners.
+            return
         if output == SUSPECT:
             self._t_suspect.inc()
             self._suspected.add(name)
@@ -422,6 +476,14 @@ class LiveMonitorService:
             self._t_trust.inc()
             self._suspected.discard(name)
         self._g_suspected.set(len(self._suspected))
+        self._publish(
+            MonitorEvent(
+                time=time,
+                process=name,
+                output=output,
+                incarnation=incarnation,
+            )
+        )
 
     @property
     def peer_names(self) -> List[str]:

@@ -8,6 +8,9 @@ period duration ``T_G`` and forward good period duration ``T_FG``.
 
 * :mod:`repro.metrics.transitions` — the S/T output trace model;
 * :mod:`repro.metrics.qos` — estimating all seven metrics from traces;
+* :mod:`repro.metrics.recovery` — crash-recovery extension: stitching
+  per-incarnation traces into per-identity recovery traces with
+  recovery-aware mistake accounting;
 * :mod:`repro.metrics.relations` — the Theorem 1 identities;
 * :mod:`repro.metrics.confidence` — confidence intervals on estimates.
 """
@@ -27,6 +30,14 @@ from repro.metrics.qos import (
     detection_times,
     estimate_accuracy,
     pool_accuracy,
+)
+from repro.metrics.recovery import (
+    IncarnationSpan,
+    RecoveryTrace,
+    estimate_recovery_accuracy,
+    recovery_detection_times,
+    span_accuracy,
+    stitch_recovery_traces,
 )
 from repro.metrics.relations import (
     derived_metrics,
@@ -55,6 +66,12 @@ __all__ = [
     "estimate_accuracy",
     "pool_accuracy",
     "detection_times",
+    "IncarnationSpan",
+    "RecoveryTrace",
+    "span_accuracy",
+    "estimate_recovery_accuracy",
+    "recovery_detection_times",
+    "stitch_recovery_traces",
     "trace_to_dict",
     "trace_from_dict",
     "save_trace",

@@ -1,0 +1,428 @@
+"""Crash-recovery QoS accounting.
+
+The paper's model is crash-stop (footnote 2: "a process that recovers
+from a crash assumes a new identity"), and the runtime follows it: every
+recovery produces a fresh ``(name, incarnation)`` pipeline with its own
+:class:`~repro.metrics.transitions.OutputTrace`.  Per Reis & Vieira
+("Quality of Service of an Asynchronous Crash-Recovery Leader Election
+Algorithm", PAPERS.md), the QoS of a *consumer* of the detector — a
+leader-election layer, a membership service — is defined over the
+long-lived **identity**, not over one incarnation: a suspicion raised
+while the process is genuinely down is *not* a mistake, and a mistake in
+progress when the process really crashes stops costing anything at the
+crash instant.
+
+This module stitches per-incarnation traces back into a per-identity
+*recovery trace* and scores it with recovery-aware mistake accounting:
+
+* an **S-transition is a mistake** only if it fires strictly before the
+  incarnation's real crash instant (at or after the crash it is a
+  correct detection);
+* **mistake durations truncate at the crash**: a mistake still open
+  when the process dies is charged only for the span the process was up
+  (the crash-stop estimator would either drop it or charge the full
+  S→T interval);
+* **good periods ended by a genuine crash detection are censored** (they
+  were cut short by a real failure, not by a detector mistake), exactly
+  as the crash-stop estimator censors the trailing good period at the
+  end of the observation window;
+* **observation time is up-time**: ``P_A`` and ``λ_M`` are normalized
+  by the time the process was actually up, so a long outage cannot
+  launder a flaky detector's accuracy.
+
+Two identities tie this to the paper's crash-stop metrics and are pinned
+by ``tests/conformance/test_recovery_identities.py``:
+
+1. on a trace with **zero restarts and no crash**, every recovery-aware
+   metric is *bit-identical* to :func:`repro.metrics.qos.estimate_accuracy`;
+2. pooled accuracy is invariant to splitting a recovery trace at
+   incarnation boundaries (no interval ever spans real downtime, so the
+   split loses no samples).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, TraceError
+from repro.metrics import relations
+from repro.metrics.qos import (
+    AccuracyEstimate,
+    estimate_accuracy,
+    pool_accuracy,
+)
+from repro.metrics.transitions import SUSPECT, TRUST, OutputTrace
+
+__all__ = [
+    "IncarnationSpan",
+    "RecoveryTrace",
+    "span_accuracy",
+    "estimate_recovery_accuracy",
+    "recovery_detection_times",
+    "stitch_recovery_traces",
+]
+
+
+@dataclass(frozen=True)
+class IncarnationSpan:
+    """One incarnation's observation window plus its real crash instant.
+
+    Attributes:
+        incarnation: the incarnation counter of this pipeline.
+        trace: the incarnation's closed output trace.
+        crash_time: real time at which this incarnation crashed
+            (``inf`` = it never crashed inside the observation window;
+            a value at/after ``trace.end_time`` is equivalent).  The
+            incarnation is *up* on ``[trace.start_time, crash_time)``
+            and *down* from ``crash_time`` on — matching
+            ``MonitoredProcess.crashed_by`` (``time >= crash_time``).
+    """
+
+    incarnation: int
+    trace: OutputTrace
+    crash_time: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not self.trace.closed:
+            raise TraceError("incarnation trace must be closed")
+        if math.isnan(self.crash_time):
+            raise InvalidParameterError("crash_time must not be NaN")
+
+    @property
+    def up_start(self) -> float:
+        return self.trace.start_time
+
+    @property
+    def up_end(self) -> float:
+        """End of the up window: the crash, or the trace end."""
+        return min(self.crash_time, self.trace.end_time)
+
+    @property
+    def up_time(self) -> float:
+        return max(0.0, self.up_end - self.up_start)
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the crash instant falls inside the trace window."""
+        return self.crash_time < self.trace.end_time
+
+
+class RecoveryTrace:
+    """A per-identity sequence of incarnation spans.
+
+    Spans must be ordered by strictly increasing incarnation with
+    nondecreasing start times; up windows must not overlap (incarnation
+    ``k+1`` starts at or after incarnation ``k``'s trace closed).
+    """
+
+    def __init__(self, name: str, spans: Sequence[IncarnationSpan]) -> None:
+        if not spans:
+            raise InvalidParameterError(
+                f"recovery trace for {name!r} needs at least one span"
+            )
+        spans = tuple(spans)
+        for prev, cur in zip(spans, spans[1:]):
+            if cur.incarnation <= prev.incarnation:
+                raise InvalidParameterError(
+                    f"incarnations must strictly increase, got "
+                    f"{prev.incarnation} then {cur.incarnation}"
+                )
+            if cur.trace.start_time < prev.trace.end_time:
+                raise InvalidParameterError(
+                    f"span windows overlap: incarnation {cur.incarnation} "
+                    f"starts at {cur.trace.start_time} before incarnation "
+                    f"{prev.incarnation} closed at {prev.trace.end_time}"
+                )
+        self._name = name
+        self._spans = spans
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def spans(self) -> Tuple[IncarnationSpan, ...]:
+        return self._spans
+
+    @property
+    def n_restarts(self) -> int:
+        return len(self._spans) - 1
+
+    @property
+    def start_time(self) -> float:
+        return self._spans[0].trace.start_time
+
+    @property
+    def end_time(self) -> float:
+        return self._spans[-1].trace.end_time
+
+    @property
+    def up_time(self) -> float:
+        """Total time the identity was actually up."""
+        return sum(s.up_time for s in self._spans)
+
+    @property
+    def down_time(self) -> float:
+        """Total genuine downtime inside ``[start_time, end_time]``:
+        post-crash tails of crashed spans plus the gaps between spans."""
+        return (self.end_time - self.start_time) - self.up_time
+
+    def up_at(self, time: float) -> bool:
+        """Whether the identity was up at ``time`` (down during gaps)."""
+        for span in self._spans:
+            if span.up_start <= time < span.up_end:
+                return True
+        return False
+
+    def split_at_incarnation(self, incarnation: int) -> Tuple["RecoveryTrace", "RecoveryTrace"]:
+        """Split into two identities at an incarnation boundary.
+
+        The first part holds spans with ``incarnation < incarnation``,
+        the second the rest.  Both sides must be nonempty.
+        """
+        head = [s for s in self._spans if s.incarnation < incarnation]
+        tail = [s for s in self._spans if s.incarnation >= incarnation]
+        if not head or not tail:
+            raise InvalidParameterError(
+                f"split at incarnation {incarnation} leaves an empty side"
+            )
+        return (
+            RecoveryTrace(self._name, head),
+            RecoveryTrace(self._name, tail),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RecoveryTrace({self._name!r}, {len(self._spans)} spans, "
+            f"{self.n_restarts} restarts)"
+        )
+
+
+def _trusted_time_between(trace: OutputTrace, lo: float, hi: float) -> float:
+    """Time the output is T inside ``[lo, hi]`` (subinterval of the trace)."""
+    if hi <= lo:
+        return 0.0
+    trusted = 0.0
+    cur = trace.initial_output
+    cur_start = trace.start_time
+    for tr in trace.transitions:
+        seg_start = max(cur_start, lo)
+        seg_end = min(tr.time, hi)
+        if cur == TRUST and seg_end > seg_start:
+            trusted += seg_end - seg_start
+        cur = tr.kind.new_output
+        cur_start = tr.time
+    seg_start = max(cur_start, lo)
+    if cur == TRUST and hi > seg_start:
+        trusted += hi - seg_start
+    return trusted
+
+
+def span_accuracy(
+    trace: OutputTrace,
+    crash_time: float = math.inf,
+    *,
+    warmup: float = 0.0,
+) -> AccuracyEstimate:
+    """Recovery-aware accuracy estimate for one incarnation.
+
+    With ``crash_time`` at/after the trace end this is — bit for bit —
+    :func:`repro.metrics.qos.estimate_accuracy` (the crash-stop
+    estimator observed the same window).  With a crash inside the
+    window, accounting truncates at the crash instant:
+
+    * S-transitions at/after the crash are correct detections, not
+      mistakes;
+    * the mistake open at the crash (if any) is charged ``crash - s``;
+    * the good period open at the crash is censored (dropped);
+    * ``P_A``/``λ_M`` normalize by up-time ``crash - start - warmup``.
+    """
+    if not trace.closed:
+        raise TraceError("trace must be closed before estimation")
+    if math.isnan(crash_time):
+        raise InvalidParameterError("crash_time must not be NaN")
+    if crash_time >= trace.end_time:
+        return estimate_accuracy(trace, warmup=warmup)
+    if warmup < 0:
+        raise InvalidParameterError(f"warmup must be >= 0, got {warmup}")
+
+    horizon_start = trace.start_time + warmup
+    if crash_time <= horizon_start:
+        # The incarnation crashed before (or the instant) steady state
+        # was reached: nothing observable while up.
+        return AccuracyEstimate(
+            e_tmr=math.nan,
+            e_tm=math.nan,
+            e_tg=math.nan,
+            query_accuracy=math.nan,
+            mistake_rate=math.nan,
+            e_tfg=math.nan,
+            n_mistakes=0,
+            observation_time=0.0,
+            tmr_samples=np.empty(0, dtype=float),
+            tm_samples=np.empty(0, dtype=float),
+            tg_samples=np.empty(0, dtype=float),
+        )
+
+    times = [t.time for t in trace.transitions]
+    kinds = [t.kind.new_output for t in trace.transitions]
+
+    # Mistake S-transitions: strictly before the crash (the process is
+    # already down *at* crash_time, mirroring crashed_by()).
+    mistake_s = [
+        t
+        for t, out in zip(times, kinds)
+        if out == SUSPECT and horizon_start <= t < crash_time
+    ]
+    tmr = np.diff(np.asarray(mistake_s, dtype=float))
+
+    # Mistake durations, truncated at the crash.
+    tm_list: List[float] = []
+    tg_list: List[float] = []
+    open_s = None  # time of the S-transition opening the current mistake
+    open_t = None  # time of the T-transition opening the current good period
+    for t, out in zip(times, kinds):
+        if t >= crash_time:
+            break
+        if out == SUSPECT:
+            if t >= horizon_start:
+                open_s = t
+            else:
+                open_s = None
+            if open_t is not None and open_t >= horizon_start:
+                # Good period ended by a detector mistake: a sample.
+                tg_list.append(t - open_t)
+            open_t = None
+        else:
+            if open_s is not None:
+                tm_list.append(t - open_s)
+            open_s = None
+            open_t = t
+    if open_s is not None:
+        # Mistake still open when the process died: it stops costing
+        # anything at the crash instant.
+        tm_list.append(crash_time - open_s)
+    # A good period open at the crash is censored — ended by a real
+    # failure, not by a mistake — exactly like the trailing good period
+    # at the end of a crash-stop window.
+
+    observation = crash_time - horizon_start
+    trusted = _trusted_time_between(trace, horizon_start, crash_time)
+    p_a = trusted / observation
+
+    tm = np.asarray(tm_list, dtype=float)
+    tg = np.asarray(tg_list, dtype=float)
+    e_tmr = float(tmr.mean()) if tmr.size else math.nan
+    e_tm = float(tm.mean()) if tm.size else math.nan
+    e_tg = float(tg.mean()) if tg.size else math.nan
+    rate = len(mistake_s) / observation if observation > 0 else math.nan
+    if tg.size >= 2 and tg.mean() > 0:
+        e_tfg = relations.forward_good_period_mean(
+            float(tg.mean()), float(tg.var())
+        )
+    elif tg.size and tg.mean() == 0:
+        e_tfg = 0.0
+    else:
+        e_tfg = math.nan
+
+    return AccuracyEstimate(
+        e_tmr=e_tmr,
+        e_tm=e_tm,
+        e_tg=e_tg,
+        query_accuracy=p_a,
+        mistake_rate=rate,
+        e_tfg=e_tfg,
+        n_mistakes=len(mistake_s),
+        observation_time=observation,
+        tmr_samples=tmr,
+        tm_samples=tm,
+        tg_samples=tg,
+    )
+
+
+def estimate_recovery_accuracy(
+    recovery: RecoveryTrace,
+    *,
+    warmup: float = 0.0,
+) -> AccuracyEstimate:
+    """Recovery-aware accuracy over a whole identity.
+
+    Per-incarnation estimates are pooled with
+    :func:`repro.metrics.qos.pool_accuracy`: mistake-recurrence
+    intervals never span real downtime (a mistake in incarnation ``k``
+    and one in ``k+1`` are separated by a genuine failure, not by a
+    good period), so per-span samples simply concatenate, and the
+    time-weighted metrics combine by up-time.  ``warmup`` applies per
+    incarnation — every restart brings a fresh detector with its own
+    transient.
+
+    With a single never-crashing span this returns that span's estimate
+    unwrapped, preserving the bit-identity with the crash-stop
+    estimator.
+    """
+    estimates = [
+        span_accuracy(s.trace, s.crash_time, warmup=warmup)
+        for s in recovery.spans
+    ]
+    if len(estimates) == 1:
+        return estimates[0]
+    return pool_accuracy(estimates)
+
+
+def recovery_detection_times(recovery: RecoveryTrace) -> np.ndarray:
+    """``T_D`` samples for every crash inside a recovery trace.
+
+    For each span whose crash instant lies inside its trace window:
+    ``0`` if the detector already suspected at the crash (a mistake the
+    crash turned retroactively correct), else the delay to the first
+    S-transition after the crash; ``inf`` if the incarnation's window
+    closed with the crash still undetected (censored).
+    """
+    out: List[float] = []
+    for span in recovery.spans:
+        if not span.crashed:
+            continue
+        trace = span.trace
+        crash = span.crash_time
+        if trace.output_at(crash) == SUSPECT:
+            out.append(0.0)
+            continue
+        later = trace.s_transition_times
+        later = later[later >= crash]
+        if later.size:
+            out.append(float(later[0]) - crash)
+        elif trace.current_output == SUSPECT:
+            # Suspicion at the very end (close coincides with the flip).
+            out.append(float(trace.end_time) - crash)
+        else:
+            out.append(math.inf)
+    return np.asarray(out, dtype=float)
+
+
+def stitch_recovery_traces(
+    traces: Dict[Tuple[str, int], OutputTrace],
+    crash_times: Dict[Tuple[str, int], float],
+) -> Dict[str, RecoveryTrace]:
+    """Group per-incarnation traces into per-identity recovery traces.
+
+    Args:
+        traces: closed traces keyed by ``(name, incarnation)`` — the
+            shape of :meth:`MonitorService.finish` /
+            :attr:`MonitorService.closed_traces`.
+        crash_times: real crash instants for the same keys; missing keys
+            mean the incarnation never crashed (``inf``).
+    """
+    by_name: Dict[str, List[IncarnationSpan]] = {}
+    for (name, incarnation), trace in traces.items():
+        crash = crash_times.get((name, incarnation), math.inf)
+        by_name.setdefault(name, []).append(
+            IncarnationSpan(incarnation, trace, crash)
+        )
+    return {
+        name: RecoveryTrace(name, sorted(spans, key=lambda s: s.incarnation))
+        for name, spans in by_name.items()
+    }

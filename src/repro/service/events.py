@@ -19,12 +19,18 @@ class MonitorEvent:
         administrative: True for synthetic events published by service
             operations (remove/restart) rather than by the detector —
             consumers must not count these as detector mistakes.
+        incarnation: incarnation of the pipeline that produced the
+            event.  The service only ever publishes events of the
+            *current* incarnation (stale detectors are muted at the
+            source), so consumers like the election layer can rely on
+            this being monotone per process.
     """
 
     time: float
     process: str
     output: str
     administrative: bool = False
+    incarnation: int = 0
 
     @property
     def is_suspicion(self) -> bool:

@@ -128,6 +128,7 @@ class MonitorService:
         self._soa: Optional[VectorMonitorEngine] = None
         self._processes: Dict[str, MonitoredProcess] = {}
         self._closed_traces: Dict[Tuple[str, int], OutputTrace] = {}
+        self._closed_crash_times: Dict[Tuple[str, int], float] = {}
         self._listeners: List[Listener] = []
         self._started = False
 
@@ -284,7 +285,10 @@ class MonitorService:
                 # the current incarnation.
                 return
             event = MonitorEvent(
-                time=self._sim.now, process=proc.name, output=output
+                time=self._sim.now,
+                process=proc.name,
+                output=output,
+                incarnation=proc.incarnation,
             )
             proc.events.append(event)
             for callback in self._listeners:
@@ -370,12 +374,17 @@ class MonitorService:
             return
         proc.sender.stop()  # no further heartbeats from this incarnation
         event = MonitorEvent(
-            time=self._sim.now, process=name, output="S", administrative=True
+            time=self._sim.now,
+            process=name,
+            output="S",
+            administrative=True,
+            incarnation=proc.incarnation,
         )
         proc.events.append(event)
         for callback in self._listeners:
             callback(event)
         self._closed_traces[(name, proc.incarnation)] = proc.host.finish()
+        self._closed_crash_times[(name, proc.incarnation)] = proc.crash_time
         proc.host.stop()  # cancel the detector's timer chain
         del self._processes[name]
 
@@ -448,3 +457,28 @@ class MonitorService:
         for name, proc in self._processes.items():
             out[(name, proc.incarnation)] = proc.host.finish()
         return out
+
+    def crash_times(self) -> Dict[Tuple[str, int], float]:
+        """Real crash instants for every incarnation ever monitored,
+        keyed like :meth:`finish` (``inf`` = never crashed)."""
+        out = dict(self._closed_crash_times)
+        for name, proc in self._processes.items():
+            out[(name, proc.incarnation)] = proc.crash_time
+        return out
+
+    def recovery_traces(self):
+        """Stitch every incarnation into per-identity recovery traces.
+
+        Returns ``{name: RecoveryTrace}`` combining the closed traces of
+        departed incarnations with the live ones (closed at the current
+        time, like :meth:`finish`) and the real crash instants recorded
+        by :meth:`crash`.  This is the input to the crash-recovery QoS
+        estimators in :mod:`repro.metrics.recovery` — suspicion while an
+        identity was genuinely down is not charged as a mistake.
+
+        Like :meth:`finish`, this is a final snapshot: live traces are
+        closed at ``sim.now``.
+        """
+        from repro.metrics.recovery import stitch_recovery_traces
+
+        return stitch_recovery_traces(self.finish(), self.crash_times())

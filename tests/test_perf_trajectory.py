@@ -35,8 +35,11 @@ class TestSmokeMode:
         for kernel in ("nfds", "sfd"):
             entry = doc["fastsim_multiseed"][kernel]
             assert entry["serial_s"] > 0 and entry["batched_s"] > 0
+            # The stored value is rounded to 2 decimals, so a small
+            # smoke-mode speedup needs the matching abs tolerance on
+            # top of the relative one.
             assert entry["speedup"] == pytest.approx(
-                entry["serial_s"] / entry["batched_s"], rel=0.02
+                entry["serial_s"] / entry["batched_s"], rel=0.02, abs=0.005
             )
         crash = doc["crash_runs"]
         assert crash["kernel"]["speedup"] > 0
