@@ -1,0 +1,49 @@
+"""E18 — Theorem 5 across a relayed WAN (reduced scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.wan_exp import (
+    WanSettings,
+    distortion_table,
+    theorem5_table,
+)
+
+# Reduced but shape-preserving: long enough for a few dozen mistake
+# cycles per route, a small crash batch for the sure bound.
+SETTINGS = dict(horizon=800.0, n_ff_runs=2, n_crash_runs=8)
+
+
+@pytest.mark.benchmark(group="extension")
+def test_wan_theorem5_routes(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: theorem5_table(WanSettings(**SETTINGS)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "wan_theorem5")
+
+    assert table.column("hops") == [1, 2, 3]
+    # The detection bound is sure, not statistical: it must hold even
+    # at benchmark scale.  (The accuracy band is asserted at the
+    # committed experiment scale, not here.)
+    assert table.column("T_D<=bound") == ["yes"] * 3
+    losses = [float(v) for v in table.column("p_L")]
+    assert losses == sorted(losses)
+
+
+@pytest.mark.benchmark(group="extension")
+def test_wan_relay_distortion(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: distortion_table(WanSettings(**SETTINGS)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "wan_distortion")
+
+    by_name = dict(zip(table.column("scenario"), table.rows))
+    cols = list(table.columns)
+    assert int(by_name["fault-free"][cols.index("flips/run")]) == 0
+    assert int(by_name["partitions"][cols.index("flips/run")]) > 0
+    assert int(by_name["site isolated"][cols.index("no-route/run")]) > 0

@@ -38,6 +38,7 @@ from repro.experiments.nfde_window import run_nfde_window
 from repro.experiments.optimality import run_optimality
 from repro.experiments.phi_comparison import run_phi_comparison
 from repro.experiments.profile_costs import run_profile_costs
+from repro.experiments.wan_exp import run_wan
 
 __all__ = ["main"]
 
@@ -109,6 +110,7 @@ _EXPERIMENTS: Dict[str, Callable[[bool, int, Optional[int]], list]] = {
         horizon=4_000.0 if full else 1_500.0,
         n_crash_runs=24 if full else 8,
     ),
+    "wan": lambda full, jobs, batch: run_wan(full=full, jobs=jobs),
 }
 
 

@@ -97,8 +97,21 @@ class PathDelay(DelayDistribution):
     def to_empirical(
         self, n: int = 100_000, seed: Optional[int] = None
     ) -> EmpiricalDelay:
-        """Materialize a sampled empirical distribution of the path delay."""
-        rng = np.random.default_rng(self._seed if seed is None else seed)
+        """Materialize a sampled empirical distribution of the path delay.
+
+        The draws come from the namespaced ``STREAM_PATH_EMPIRICAL``
+        stream (keyed by ``seed``, defaulting to the path's own seed),
+        never from the raw seed the cached-CDF sample uses — reusing
+        ``self._seed`` directly would replay the exact generator stream
+        behind :meth:`cdf`, making the "fresh" materialization perfectly
+        correlated with the cached sample instead of independent of it.
+        """
+        # Imported lazily: repro.net must stay importable on its own.
+        from repro.sim.seeds import STREAM_PATH_EMPIRICAL, derive_rng
+
+        rng = derive_rng(
+            self._seed if seed is None else seed, STREAM_PATH_EMPIRICAL
+        )
         return EmpiricalDelay(self.sample(rng, n))
 
 
@@ -129,7 +142,6 @@ def end_to_end_behavior(
     graph: nx.Graph,
     source,
     target,
-    weight: str = "mean_delay",
     cdf_samples: int = 200_000,
     seed: int = 0,
 ) -> Tuple[PathDelay, float, list]:
@@ -139,16 +151,26 @@ def end_to_end_behavior(
     metric); every edge must carry ``delay`` (a
     :class:`DelayDistribution`) and ``loss`` attributes.
 
+    The input graph is read-only: routing weights are computed into a
+    local dict, never written back as edge attributes (which would
+    silently clobber a caller's pre-existing attribute of that name).
+
     Returns the composite :class:`PathDelay`, the end-to-end loss
     probability, and the node path used.
     """
+    weights = {}
     for u, v, data in graph.edges(data=True):
         if "delay" not in data or "loss" not in data:
             raise InvalidParameterError(
                 f"edge ({u!r}, {v!r}) missing 'delay'/'loss' attributes"
             )
-        data[weight] = data["delay"].mean
-    path = nx.shortest_path(graph, source, target, weight=weight)
+        mean = data["delay"].mean
+        weights[(u, v)] = mean
+        if not graph.is_directed():
+            weights[(v, u)] = mean
+    path = nx.shortest_path(
+        graph, source, target, weight=lambda u, v, d: weights[(u, v)]
+    )
     if len(path) < 2:
         raise InvalidParameterError("source and target coincide")
     hops = [

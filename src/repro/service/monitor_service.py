@@ -170,17 +170,28 @@ class MonitorService:
         name: str,
         detector: HeartbeatFailureDetector,
         eta: float,
-        delay: DelayDistribution,
+        delay: Optional[DelayDistribution] = None,
         loss_probability: float = 0.0,
         sender_clock: Optional[Clock] = None,
         monitor_clock: Optional[Clock] = None,
         incarnation: int = 0,
         scenario=None,
+        link=None,
     ) -> MonitoredProcess:
         """Register a process and build its monitoring pipeline.
 
         If the service has already been started, the new pipeline starts
         immediately (processes can join a running system).
+
+        The transport is declared either by ``delay`` (+
+        ``loss_probability``), building the paper's
+        :class:`~repro.net.link.LossyLink` from the per-(process,
+        incarnation) stream, or by passing a pre-built LossyLink-
+        compatible ``link`` — e.g. a
+        :class:`~repro.net.wan.RoutedWanLink` relaying heartbeats across
+        a multi-site topology.  Exactly one of the two must be given; a
+        caller-provided link owns its randomness, so it must be
+        constructed from a seeded generator for reproducible runs.
 
         ``scenario`` (a :class:`repro.faults.FaultScenario`) scripts
         faults onto this process's pipeline only: the link is wrapped in
@@ -197,13 +208,21 @@ class MonitorService:
                 f"process {name!r} already monitored; remove it first or "
                 f"re-add under a new incarnation"
             )
+        if (delay is None) == (link is None):
+            raise InvalidParameterError(
+                "pass exactly one of delay= (a LossyLink is built for "
+                "the process) or link= (a pre-built transport)"
+            )
         # zlib.crc32 is stable across processes (str hash() is salted by
         # PYTHONHASHSEED and would break run-to-run reproducibility).
         name_key = zlib.crc32(name.encode("utf-8"))
-        rng = np.random.default_rng(
-            np.random.SeedSequence([self._seed, name_key, incarnation])
-        )
-        link = LossyLink(delay=delay, loss_probability=loss_probability, rng=rng)
+        if link is None:
+            rng = np.random.default_rng(
+                np.random.SeedSequence([self._seed, name_key, incarnation])
+            )
+            link = LossyLink(
+                delay=delay, loss_probability=loss_probability, rng=rng
+            )
         engine = None
         if scenario is not None:
             # Imported lazily: repro.faults sits above the service layer.

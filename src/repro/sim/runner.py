@@ -58,6 +58,15 @@ class SimulationConfig:
             guard; NFD needs only ``δ + η``).
         seed: base RNG seed; every run derives an independent stream.
         sender_clock / monitor_clock: local clock models for p and q.
+        link_factory: optional ``rng -> link`` constructor.  When set,
+            each run's link is built by this callable (from the run's
+            own derived generator) instead of a plain
+            :class:`~repro.net.link.LossyLink` — the seam through which
+            a :class:`~repro.net.wan.RoutedWanLink` or any other
+            LossyLink-compatible transport attaches to the runner.
+            ``delay``/``loss_probability`` then describe the *intended*
+            single-link abstraction (used by analyses and tables), not
+            the constructed transport.
     """
 
     eta: float
@@ -68,6 +77,7 @@ class SimulationConfig:
     seed: int = 0
     sender_clock: Optional[Clock] = None
     monitor_clock: Optional[Clock] = None
+    link_factory: Optional[Callable[[np.random.Generator], object]] = None
 
     def __post_init__(self) -> None:
         if self.eta <= 0:
@@ -153,11 +163,14 @@ def _build(
     crash_time: Optional[float],
 ):
     sim = Simulator()
-    link = LossyLink(
-        delay=config.delay,
-        loss_probability=config.loss_probability,
-        rng=rng,
-    )
+    if config.link_factory is not None:
+        link = config.link_factory(rng)
+    else:
+        link = LossyLink(
+            delay=config.delay,
+            loss_probability=config.loss_probability,
+            rng=rng,
+        )
     host = DetectorHost(
         sim,
         detector,

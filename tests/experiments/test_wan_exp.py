@@ -1,0 +1,95 @@
+"""Structural tests for the E18 WAN experiment at toy scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.wan_exp import (
+    WanSettings,
+    build_topology,
+    distortion_table,
+    run_wan,
+    theorem5_table,
+)
+
+
+@pytest.fixture(scope="module")
+def settings():
+    """Tiny but non-degenerate: enough horizon for a handful of
+    mistakes per route, small crash batch."""
+    return WanSettings(horizon=400.0, n_ff_runs=2, n_crash_runs=4)
+
+
+class TestTopology:
+    def test_primary_route_is_three_hops(self):
+        _, _, path = build_topology().compose_route("nyc", "sgp")
+        assert path == ["nyc", "lon", "fra", "sgp"]
+
+    def test_variants_change_only_what_they_claim(self):
+        base = build_topology()
+        bursty = build_topology(bursty=True)
+        assert base.link("lon", "fra").burst_length is None
+        assert bursty.link("lon", "fra").burst_length == pytest.approx(8.0)
+        assert bursty.link("lon", "fra").loss == base.link("lon", "fra").loss
+        assert len(build_topology(congestion=True).congestions) == 1
+        assert len(base.congestions) == 0
+
+
+class TestTheorem5Table(object):
+    def test_rows_and_detection_gate(self, settings):
+        table = theorem5_table(settings)
+        assert table.column("route") == [
+            "nyc->lon",
+            "nyc->lon->fra",
+            "nyc->lon->fra->sgp",
+        ]
+        assert table.column("hops") == [1, 2, 3]
+        # The detection bound is sure for NFD-S — it must hold even at
+        # toy scale; the accuracy band is statistical and is asserted
+        # only at the committed experiment scale.
+        assert table.column("T_D<=bound") == ["yes"] * 3
+
+    def test_losses_compose_monotonically(self, settings):
+        table = theorem5_table(settings)
+        losses = [float(v) for v in table.column("p_L")]
+        assert losses == sorted(losses)
+        assert losses[0] == pytest.approx(0.04)
+
+
+class TestDistortionTable:
+    def test_scenarios_and_counters(self, settings):
+        table = distortion_table(settings)
+        assert table.column("scenario") == [
+            "fault-free",
+            "congestion x8",
+            "bursty backbone",
+            "partitions",
+            "site isolated",
+        ]
+        by_name = dict(zip(table.column("scenario"), table.rows))
+        cols = list(table.columns)
+        flips = cols.index("flips/run")
+        no_route = cols.index("no-route/run")
+        assert int(by_name["fault-free"][flips]) == 0
+        assert int(by_name["fault-free"][no_route]) == 0
+        assert int(by_name["partitions"][flips]) > 0
+        assert int(by_name["site isolated"][no_route]) > 0
+
+
+class TestDriver:
+    def test_run_wan_returns_both_tables(self, monkeypatch):
+        import repro.experiments.wan_exp as wan_exp
+
+        captured = {}
+        original = wan_exp.WanSettings
+
+        def tiny(*args, **kwargs):
+            s = original(horizon=400.0, n_ff_runs=2, n_crash_runs=4)
+            captured["settings"] = s
+            return s
+
+        monkeypatch.setattr(wan_exp, "WanSettings", tiny)
+        tables = wan_exp.run_wan()
+        assert len(tables) == 2
+        assert tables[0].title.startswith("E18a")
+        assert tables[1].title.startswith("E18b")

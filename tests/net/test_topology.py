@@ -48,6 +48,35 @@ class TestPathDelay:
         emp = PathDelay([ExponentialDelay(0.02)]).to_empirical(n=5000)
         assert emp.mean == pytest.approx(0.02, rel=0.1)
 
+    def test_to_empirical_independent_of_cached_cdf_stream(self):
+        """Regression: ``to_empirical(seed=None)`` used to re-seed the
+        exact generator stream behind the cached CDF sample, so the two
+        "independent" sample sets were bit-for-bit identical."""
+        n = 20_000
+        path = PathDelay(
+            [ExponentialDelay(0.02), ExponentialDelay(0.03)],
+            cdf_samples=n,
+            seed=7,
+        )
+        cached = np.sort(path._samples_for_cdf())
+        fresh = np.sort(path.to_empirical(n=n)._sorted)
+        # Pre-fix these arrays were equal elementwise (same RNG stream).
+        assert not np.array_equal(cached, fresh)
+        # ... while both still converge to the same law.
+        assert fresh.mean() == pytest.approx(path.mean, rel=0.05)
+        assert fresh.var() == pytest.approx(path.variance, rel=0.1)
+        grid = np.linspace(0.01, 0.2, 9)
+        emp_cdf = np.searchsorted(fresh, grid, side="right") / fresh.size
+        np.testing.assert_allclose(emp_cdf, path.cdf(grid), atol=0.02)
+
+    def test_to_empirical_explicit_seed_reproducible(self):
+        path = PathDelay([ExponentialDelay(0.02)])
+        a = path.to_empirical(n=2000, seed=3)
+        b = path.to_empirical(n=2000, seed=3)
+        c = path.to_empirical(n=2000, seed=4)
+        assert np.array_equal(a._sorted, b._sorted)
+        assert not np.array_equal(a._sorted, c._sorted)
+
     def test_validation(self):
         with pytest.raises(InvalidParameterError):
             PathDelay([])
@@ -83,6 +112,32 @@ class TestEndToEnd:
         assert path == ["A", "B", "D"]
         assert delay.mean == pytest.approx(0.02)
         assert loss == pytest.approx(1 - 0.99**2)
+
+    def test_graph_not_mutated(self):
+        """Regression: routing used to write ``data['mean_delay']`` into
+        every edge of the *caller's* graph, clobbering any pre-existing
+        attribute of that name."""
+        g = self.build_graph()
+        # A caller-owned attribute under the name the router used to write.
+        g.edges["A", "B"]["mean_delay"] = "caller-owned"
+        before = {
+            (u, v): dict(data) for u, v, data in g.edges(data=True)
+        }
+        end_to_end_behavior(g, "A", "D")
+        after = {(u, v): dict(data) for u, v, data in g.edges(data=True)}
+        assert after == before
+        assert g.edges["A", "B"]["mean_delay"] == "caller-owned"
+
+    def test_directed_graph_routes_per_direction(self):
+        """Asymmetric directed links route on their own direction's mean."""
+        g = nx.DiGraph()
+        g.add_edge("A", "B", delay=ExponentialDelay(0.01), loss=0.0)
+        g.add_edge("B", "A", delay=ExponentialDelay(0.5), loss=0.0)
+        g.add_edge("B", "C", delay=ExponentialDelay(0.01), loss=0.0)
+        g.add_edge("A", "C", delay=ExponentialDelay(0.5), loss=0.0)
+        delay, _, path = end_to_end_behavior(g, "A", "C")
+        assert path == ["A", "B", "C"]
+        assert delay.mean == pytest.approx(0.02)
 
     def test_missing_attributes_rejected(self):
         g = nx.Graph()
